@@ -1,0 +1,23 @@
+"""pytest-benchmark configuration for the experiment harnesses.
+
+Each benchmark regenerates one of the paper's tables or figures in the fast
+experiment mode (reduced sweep breadth and larger collective chunks so the
+whole suite finishes in minutes).  Passing ``--paper-scale`` switches every
+benchmark to the full paper-scale sweep.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the experiments at full paper scale (slow)",
+    )
+
+
+@pytest.fixture(scope="session")
+def fast_mode(request) -> bool:
+    return not request.config.getoption("--paper-scale")

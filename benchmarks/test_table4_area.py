@@ -1,0 +1,25 @@
+"""Benchmark: Table IV — ACE area and power roll-up."""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.experiments.table4_area import run_table4
+
+
+def test_table4_area_power(benchmark):
+    rows = benchmark(run_table4)
+    print()
+    print(
+        format_table(
+            rows,
+            ["component", "area_um2", "power_mw"],
+            title="Table IV — ACE area (um^2) and power (mW); last row is % overhead",
+        )
+    )
+    total = next(r for r in rows if r["component"] == "ACE (Total)")
+    overhead = rows[-1]
+    assert total["area_um2"] == pytest.approx(5_339_031.0, rel=0.02)
+    assert total["power_mw"] == pytest.approx(4_255.0, rel=0.02)
+    # "<2% overhead in both area and power" (Section IV-I).
+    assert overhead["area_um2"] < 2.0
+    assert overhead["power_mw"] < 2.0

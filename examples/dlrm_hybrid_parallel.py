@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""DLRM hybrid parallelism: all-to-all exchanges plus the Fig. 12 optimisation.
+
+DLRM trains its MLPs data-parallel (weight-gradient all-reduce) and its
+embedding tables model-parallel (all-to-all before the top MLP and after
+back-propagation).  This example:
+
+1. simulates the default DLRM training loop on BaselineCompOpt and ACE,
+2. enables the optimised loop (embedding lookup/update of the adjacent
+   iterations run off the critical path on the memory bandwidth ACE frees up),
+3. reports the improvement each system gets — the paper's Fig. 12 experiment.
+
+Run with:  python examples/dlrm_hybrid_parallel.py
+"""
+
+from repro import build_workload, make_system, simulate_training
+from repro.analysis.report import format_table
+from repro.units import KB
+
+NUM_NPUS = 64
+CHUNK_BYTES = 512 * KB
+
+
+def main() -> None:
+    workload = build_workload("dlrm")
+    embedding = workload.embedding
+    print(f"Workload: {workload.description}")
+    print(f"  MLP gradients per iteration : {workload.total_params_bytes / 2**20:.1f} MiB")
+    print(f"  all-to-all payload (fwd/bwd): {embedding.alltoall_forward_bytes / 2**20:.1f} MiB each")
+    print()
+
+    rows = []
+    improvements = {}
+    for name in ("baseline_comp_opt", "ace"):
+        system = make_system(name)
+        default = simulate_training(
+            system, workload, num_npus=NUM_NPUS, iterations=2, chunk_bytes=CHUNK_BYTES
+        )
+        optimised = simulate_training(
+            system, workload, num_npus=NUM_NPUS, iterations=2, chunk_bytes=CHUNK_BYTES,
+            overlap_embedding=True,
+        )
+        for label, result in (("default", default), ("optimized", optimised)):
+            rows.append(
+                {
+                    "system": result.system_name,
+                    "loop": label,
+                    "compute_us": round(result.total_compute_us, 1),
+                    "exposed_comm_us": round(result.exposed_comm_us, 1),
+                    "total_us": round(result.total_time_us, 1),
+                }
+            )
+        improvements[system.name] = default.total_time_ns / optimised.total_time_ns
+
+    print(format_table(rows, title=f"DLRM on {NUM_NPUS} NPUs: default vs optimised loop (Fig. 12)"))
+    print()
+    for system_name, improvement in improvements.items():
+        print(f"{system_name}: optimised loop is {improvement:.2f}x faster than the default loop")
+    print("\nThe optimisation is only worthwhile because ACE leaves spare memory "
+          "bandwidth on the NPU; the baseline's communication path still limits it.")
+
+
+if __name__ == "__main__":
+    main()

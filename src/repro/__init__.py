@@ -1,0 +1,84 @@
+"""repro — reproduction of "Enabling Compute-Communication Overlap in
+Distributed Deep Learning Training Platforms" (ACE, ISCA 2021).
+
+The package is an event-driven simulator of a distributed DL training
+platform: a 3D-torus Accelerator Fabric, GPU-like NPUs, topology-aware
+collective algorithms, the proposed ACE collective-offload engine, the
+baseline (NPU-driven) and ideal endpoints, and the training loop that ties
+them together.  The ``repro.experiments`` package regenerates every figure and
+table of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import make_system, build_workload, simulate_training
+>>> result = simulate_training(
+...     make_system("ace"), build_workload("resnet50"),
+...     num_npus=16, iterations=2, chunk_bytes=512 * 1024)
+>>> result.iteration_time_us > 0
+True
+"""
+
+from repro.config import (
+    AceConfig,
+    ComputeConfig,
+    EndpointKind,
+    MemoryConfig,
+    NetworkConfig,
+    ResourcePolicy,
+    SystemConfig,
+    ace_system,
+    baseline_comm_opt,
+    baseline_comp_opt,
+    baseline_no_overlap,
+    ideal_system,
+    make_system,
+    torus_shape_for_npus,
+)
+from repro.collectives import CollectiveOp, CollectivePlan, plan_collective
+from repro.network.topology import RingTopology, SwitchTopology, Torus3D
+from repro.training import TrainingLoop, TrainingResult, simulate_training
+from repro.workloads import (
+    Workload,
+    available_workloads,
+    build_dlrm,
+    build_gnmt,
+    build_megatron,
+    build_resnet50,
+    build_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AceConfig",
+    "ComputeConfig",
+    "EndpointKind",
+    "MemoryConfig",
+    "NetworkConfig",
+    "ResourcePolicy",
+    "SystemConfig",
+    "ace_system",
+    "baseline_comm_opt",
+    "baseline_comp_opt",
+    "baseline_no_overlap",
+    "ideal_system",
+    "make_system",
+    "torus_shape_for_npus",
+    "CollectiveOp",
+    "CollectivePlan",
+    "plan_collective",
+    "RingTopology",
+    "SwitchTopology",
+    "Torus3D",
+    "TrainingLoop",
+    "TrainingResult",
+    "simulate_training",
+    "Workload",
+    "available_workloads",
+    "build_dlrm",
+    "build_gnmt",
+    "build_megatron",
+    "build_resnet50",
+    "build_workload",
+    "__version__",
+]

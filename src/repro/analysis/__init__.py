@@ -1,0 +1,22 @@
+"""Analysis utilities: bandwidth sweeps, speedups, utilization and reports."""
+
+from repro.analysis.bandwidth import (
+    MemoryBandwidthRequirement,
+    analytical_memory_traffic,
+    measure_network_drive,
+    memory_bw_sweep,
+    sm_sweep,
+)
+from repro.analysis.speedup import SpeedupTable, compute_speedups
+from repro.analysis.report import format_table
+
+__all__ = [
+    "MemoryBandwidthRequirement",
+    "analytical_memory_traffic",
+    "measure_network_drive",
+    "memory_bw_sweep",
+    "sm_sweep",
+    "SpeedupTable",
+    "compute_speedups",
+    "format_table",
+]

@@ -1,0 +1,82 @@
+"""Speedup computations for the scaling study (Fig. 11b)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import SimulationError
+from repro.training.results import TrainingResult
+
+
+@dataclass(frozen=True)
+class SpeedupTable:
+    """ACE's speedup over each baseline for one (workload, platform size)."""
+
+    workload: str
+    num_npus: int
+    ace_iteration_time_ns: float
+    speedups: Dict[str, float]
+    fraction_of_ideal: Dict[str, float]
+
+    def best_baseline_speedup(self) -> float:
+        """ACE's speedup over the best (fastest) baseline configuration."""
+        baseline_speedups = [
+            v for k, v in self.speedups.items() if k.lower() != "ideal"
+        ]
+        if not baseline_speedups:
+            raise SimulationError("no baseline results to compare against")
+        return min(baseline_speedups)
+
+
+def compute_speedups(results: Iterable[TrainingResult]) -> List[SpeedupTable]:
+    """Group results by (workload, size) and compute ACE-relative speedups.
+
+    Each group must contain exactly one ACE result; an Ideal result is
+    optional and, when present, used for the fraction-of-ideal column that the
+    paper quotes (e.g. ACE reaches 91 % of the ideal system on average).
+    """
+    groups: Dict[tuple, List[TrainingResult]] = {}
+    for result in results:
+        groups.setdefault((result.workload_name, result.num_npus), []).append(result)
+
+    tables: List[SpeedupTable] = []
+    for (workload, num_npus), group in sorted(groups.items()):
+        ace = _single(group, "ACE")
+        ideal = _maybe(group, "Ideal")
+        speedups: Dict[str, float] = {}
+        fraction_of_ideal: Dict[str, float] = {}
+        for result in group:
+            if result.system_name == ace.system_name:
+                continue
+            speedups[result.system_name] = result.iteration_time_ns / ace.iteration_time_ns
+        if ideal is not None:
+            for result in group:
+                fraction_of_ideal[result.system_name] = (
+                    ideal.iteration_time_ns / result.iteration_time_ns
+                )
+        tables.append(
+            SpeedupTable(
+                workload=workload,
+                num_npus=num_npus,
+                ace_iteration_time_ns=ace.iteration_time_ns,
+                speedups=speedups,
+                fraction_of_ideal=fraction_of_ideal,
+            )
+        )
+    return tables
+
+
+def _single(group: List[TrainingResult], name: str) -> TrainingResult:
+    matches = [r for r in group if r.system_name == name]
+    if len(matches) != 1:
+        raise SimulationError(
+            f"expected exactly one {name!r} result per (workload, size) group, "
+            f"found {len(matches)}"
+        )
+    return matches[0]
+
+
+def _maybe(group: List[TrainingResult], name: str) -> Optional[TrainingResult]:
+    matches = [r for r in group if r.system_name == name]
+    return matches[0] if matches else None

@@ -1,0 +1,39 @@
+"""Collective communication algorithms and plans.
+
+Two complementary views of each collective are provided:
+
+* **Functional** (:mod:`repro.collectives.dataops`,
+  :mod:`repro.collectives.ring`, :mod:`repro.collectives.alltoall`, ...) —
+  step-by-step implementations over numpy arrays used to verify algorithmic
+  correctness (every node ends with the right data) in unit and property
+  tests.
+
+* **Performance plans** (:class:`~repro.collectives.base.CollectivePlan`) —
+  the per-phase byte/step accounting the simulator uses to charge endpoint
+  processing, memory traffic and link occupancy.  Plans are built by
+  :func:`~repro.collectives.planner.plan_collective` for a given topology,
+  following the paper's topology-aware algorithms (hierarchical 4-phase
+  all-reduce on the 3D torus, direct all-to-all with XYZ routing).
+"""
+
+from repro.collectives.base import CollectiveOp, CollectivePlan, PhaseSpec
+from repro.collectives.planner import plan_collective
+from repro.collectives.hierarchical import hierarchical_all_reduce_plan
+from repro.collectives.ring import (
+    ring_all_gather_phase,
+    ring_all_reduce_phase,
+    ring_reduce_scatter_phase,
+)
+from repro.collectives.alltoall import direct_all_to_all_plan
+
+__all__ = [
+    "CollectiveOp",
+    "CollectivePlan",
+    "PhaseSpec",
+    "plan_collective",
+    "hierarchical_all_reduce_plan",
+    "ring_all_gather_phase",
+    "ring_all_reduce_phase",
+    "ring_reduce_scatter_phase",
+    "direct_all_to_all_plan",
+]

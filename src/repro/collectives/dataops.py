@@ -1,0 +1,96 @@
+"""Functional reference implementations of the collective operations.
+
+These operate on actual numpy arrays (one array per node) and return what
+every node should hold after the collective.  They are intentionally simple —
+they define *correctness*, not performance — and are used as oracles for the
+step-by-step algorithm implementations and in hypothesis property tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import CollectiveError
+
+
+def _check_same_shape(arrays: Sequence[np.ndarray]) -> None:
+    if not arrays:
+        raise CollectiveError("need at least one node's data")
+    shape = arrays[0].shape
+    for i, arr in enumerate(arrays):
+        if arr.shape != shape:
+            raise CollectiveError(
+                f"node {i} has shape {arr.shape}, expected {shape}"
+            )
+
+
+def all_reduce(arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Every node ends with the element-wise sum of all nodes' data."""
+    _check_same_shape(arrays)
+    total = np.sum(np.stack([np.asarray(a, dtype=np.float64) for a in arrays]), axis=0)
+    return [total.copy() for _ in arrays]
+
+
+def reduce_scatter(arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Node ``i`` ends with the ``i``-th equal shard of the element-wise sum.
+
+    The data length must be divisible by the number of nodes (the simulator
+    pads payloads the same way real collective libraries do).
+    """
+    _check_same_shape(arrays)
+    num_nodes = len(arrays)
+    flat = [np.asarray(a, dtype=np.float64).ravel() for a in arrays]
+    length = flat[0].size
+    if length % num_nodes != 0:
+        raise CollectiveError(
+            f"data length {length} not divisible by {num_nodes} nodes"
+        )
+    total = np.sum(np.stack(flat), axis=0)
+    shard = length // num_nodes
+    return [total[i * shard : (i + 1) * shard].copy() for i in range(num_nodes)]
+
+
+def all_gather(shards: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Every node ends with the concatenation of all nodes' shards."""
+    if not shards:
+        raise CollectiveError("need at least one node's data")
+    gathered = np.concatenate([np.asarray(s, dtype=np.float64).ravel() for s in shards])
+    return [gathered.copy() for _ in shards]
+
+
+def all_to_all(arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Node ``i`` ends with the concatenation of shard ``i`` from every node.
+
+    Each node's input is split into ``num_nodes`` equal shards; shard ``j`` of
+    node ``i`` is delivered to node ``j``.  This is the embedding-exchange
+    pattern DLRM uses (Section II).
+    """
+    _check_same_shape(arrays)
+    num_nodes = len(arrays)
+    flat = [np.asarray(a, dtype=np.float64).ravel() for a in arrays]
+    length = flat[0].size
+    if length % num_nodes != 0:
+        raise CollectiveError(
+            f"data length {length} not divisible by {num_nodes} nodes"
+        )
+    shard = length // num_nodes
+    out: List[np.ndarray] = []
+    for dst in range(num_nodes):
+        pieces = [flat[src][dst * shard : (dst + 1) * shard] for src in range(num_nodes)]
+        out.append(np.concatenate(pieces))
+    return out
+
+
+def split_shards(array: np.ndarray, num_shards: int) -> List[np.ndarray]:
+    """Split ``array`` into ``num_shards`` equal shards (raises if not divisible)."""
+    flat = np.asarray(array, dtype=np.float64).ravel()
+    if num_shards <= 0:
+        raise CollectiveError(f"num_shards must be positive, got {num_shards}")
+    if flat.size % num_shards != 0:
+        raise CollectiveError(
+            f"array of size {flat.size} not divisible into {num_shards} shards"
+        )
+    shard = flat.size // num_shards
+    return [flat[i * shard : (i + 1) * shard].copy() for i in range(num_shards)]

@@ -1,0 +1,62 @@
+"""Collective plan selection.
+
+:func:`plan_collective` is the single entry point the rest of the simulator
+uses: given a collective operation and a topology it returns the
+topology-aware :class:`~repro.collectives.base.CollectivePlan` the paper's
+methodology prescribes — hierarchical 4-phase all-reduce and direct all-to-all
+on the 3D torus.  Plans are cached per (operation, topology shape) because the
+training loop requests the same plan for every layer.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple, Union
+
+from repro.collectives.alltoall import direct_all_to_all_plan
+from repro.collectives.base import CollectiveOp, CollectivePlan
+from repro.collectives.hierarchical import (
+    hierarchical_all_gather_plan,
+    hierarchical_all_reduce_plan,
+    hierarchical_reduce_scatter_plan,
+)
+from repro.errors import CollectiveError
+from repro.network.topology import Torus3D
+
+
+def _normalize_op(op: Union[str, CollectiveOp]) -> CollectiveOp:
+    if isinstance(op, CollectiveOp):
+        return op
+    try:
+        return CollectiveOp(op)
+    except ValueError:
+        raise CollectiveError(
+            f"unknown collective operation {op!r}; "
+            f"expected one of {[o.value for o in CollectiveOp]}"
+        ) from None
+
+
+@lru_cache(maxsize=None)
+def _plan_for_shape(op: CollectiveOp, shape: Tuple[int, int, int]) -> CollectivePlan:
+    topology = Torus3D(*shape)
+    if op is CollectiveOp.ALL_REDUCE:
+        return hierarchical_all_reduce_plan(topology)
+    if op is CollectiveOp.ALL_TO_ALL:
+        return direct_all_to_all_plan(topology)
+    if op is CollectiveOp.REDUCE_SCATTER:
+        return hierarchical_reduce_scatter_plan(topology)
+    if op is CollectiveOp.ALL_GATHER:
+        return hierarchical_all_gather_plan(topology)
+    raise CollectiveError(f"no planner registered for {op}")
+
+
+def plan_collective(op: Union[str, CollectiveOp], topology: Torus3D) -> CollectivePlan:
+    """Return the topology-aware plan for ``op`` on ``topology``."""
+    if not isinstance(topology, Torus3D):
+        raise CollectiveError("plan_collective currently supports Torus3D topologies")
+    return _plan_for_shape(_normalize_op(op), topology.shape)
+
+
+def clear_plan_cache() -> None:
+    """Drop all cached plans (useful in long-lived test sessions)."""
+    _plan_for_shape.cache_clear()

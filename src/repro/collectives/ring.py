@@ -1,0 +1,172 @@
+"""Ring-based collective algorithms.
+
+Two layers live here:
+
+* Step-by-step **functional** implementations (``ring_reduce_scatter``,
+  ``ring_all_gather``, ``ring_all_reduce``) that move actual numpy shards
+  around a logical ring, node by node and step by step, exactly as Fig. 8 of
+  the paper illustrates.  They are verified against the oracles in
+  :mod:`repro.collectives.dataops`.
+
+* **Phase builders** (``ring_reduce_scatter_phase`` etc.) that produce the
+  :class:`~repro.collectives.base.PhaseSpec` byte/step accounting the
+  performance model consumes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.collectives.base import PhaseSpec
+from repro.collectives.dataops import split_shards
+from repro.errors import CollectiveError
+
+# ---------------------------------------------------------------------------
+# Functional (data-moving) implementations
+# ---------------------------------------------------------------------------
+
+
+def ring_reduce_scatter(arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Ring reduce-scatter: node ``i`` ends with shard ``i`` of the global sum.
+
+    Implements the classic (n-1)-step algorithm: in step ``s`` node ``i``
+    sends the partial shard ``(i - s) mod n`` to node ``i+1`` and reduces the
+    shard it receives from node ``i-1`` into its local copy.
+    """
+    num_nodes = len(arrays)
+    if num_nodes < 2:
+        raise CollectiveError("ring reduce-scatter needs at least 2 nodes")
+    shards = [split_shards(a, num_nodes) for a in arrays]
+    for step in range(num_nodes - 1):
+        sends = []
+        for node in range(num_nodes):
+            shard_idx = (node - step) % num_nodes
+            sends.append((node, (node + 1) % num_nodes, shard_idx, shards[node][shard_idx].copy()))
+        for _, dst, shard_idx, data in sends:
+            shards[dst][shard_idx] = shards[dst][shard_idx] + data
+    return [shards[node][(node + 1) % num_nodes].copy() for node in range(num_nodes)]
+
+
+def ring_all_gather(shards: Sequence[np.ndarray], owner_offset: int = 1) -> List[np.ndarray]:
+    """Ring all-gather: every node ends with the concatenation of all shards.
+
+    ``owner_offset`` states which global shard index node ``i`` holds on
+    entry: shard ``(i + owner_offset) mod n``.  The reduce-scatter above
+    leaves node ``i`` holding shard ``i+1``, hence the default of 1.
+    """
+    num_nodes = len(shards)
+    if num_nodes < 2:
+        raise CollectiveError("ring all-gather needs at least 2 nodes")
+    shard_size = np.asarray(shards[0]).size
+    collected: List[List[np.ndarray]] = [[None] * num_nodes for _ in range(num_nodes)]  # type: ignore[list-item]
+    for node in range(num_nodes):
+        arr = np.asarray(shards[node], dtype=np.float64).ravel()
+        if arr.size != shard_size:
+            raise CollectiveError("all shards must have the same size")
+        collected[node][(node + owner_offset) % num_nodes] = arr.copy()
+    # In step s, node i forwards the shard it obtained s steps ago to node i+1.
+    for step in range(num_nodes - 1):
+        sends = []
+        for node in range(num_nodes):
+            shard_idx = (node + owner_offset - step) % num_nodes
+            sends.append((node, (node + 1) % num_nodes, shard_idx, collected[node][shard_idx].copy()))
+        for _, dst, shard_idx, data in sends:
+            collected[dst][shard_idx] = data
+    return [np.concatenate(collected[node]) for node in range(num_nodes)]
+
+
+def ring_all_reduce(arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Ring all-reduce = ring reduce-scatter followed by ring all-gather."""
+    reduced_shards = ring_reduce_scatter(arrays)
+    return ring_all_gather(reduced_shards, owner_offset=1)
+
+
+# ---------------------------------------------------------------------------
+# Phase builders (performance accounting)
+# ---------------------------------------------------------------------------
+
+
+def _validate_ring(ring_size: int, resident_fraction: float) -> None:
+    if ring_size < 1:
+        raise CollectiveError(f"ring size must be >= 1, got {ring_size}")
+    if resident_fraction < 0:
+        raise CollectiveError("resident fraction must be non-negative")
+
+
+def ring_reduce_scatter_phase(
+    dimension: str,
+    ring_size: int,
+    resident_fraction: float,
+    parallel_group: int = 0,
+) -> PhaseSpec:
+    """Reduce-scatter over a ring of ``ring_size`` nodes.
+
+    Entering with ``r`` of the payload resident, each of the ``n-1`` steps
+    sends ``r/n`` and reduces the ``r/n`` received, leaving ``r/n`` resident.
+    """
+    _validate_ring(ring_size, resident_fraction)
+    n = ring_size
+    sent = resident_fraction * (n - 1) / n if n > 1 else 0.0
+    return PhaseSpec(
+        dimension=dimension,
+        kind="reduce_scatter",
+        ring_size=n,
+        steps=max(0, n - 1),
+        bytes_sent_fraction=sent,
+        reduced_bytes_fraction=sent,
+        resident_fraction_in=resident_fraction,
+        resident_fraction_out=resident_fraction / n if n > 0 else resident_fraction,
+        parallel_group=parallel_group,
+    )
+
+
+def ring_all_gather_phase(
+    dimension: str,
+    ring_size: int,
+    resident_fraction: float,
+    parallel_group: int = 0,
+) -> PhaseSpec:
+    """All-gather over a ring: no reductions, resident data grows by ``n``x."""
+    _validate_ring(ring_size, resident_fraction)
+    n = ring_size
+    sent = resident_fraction * (n - 1) if n > 1 else 0.0
+    return PhaseSpec(
+        dimension=dimension,
+        kind="all_gather",
+        ring_size=n,
+        steps=max(0, n - 1),
+        bytes_sent_fraction=sent,
+        reduced_bytes_fraction=0.0,
+        resident_fraction_in=resident_fraction,
+        resident_fraction_out=resident_fraction * n,
+        parallel_group=parallel_group,
+    )
+
+
+def ring_all_reduce_phase(
+    dimension: str,
+    ring_size: int,
+    resident_fraction: float,
+    parallel_group: int = 0,
+) -> PhaseSpec:
+    """All-reduce over a ring (reduce-scatter + all-gather fused in one phase).
+
+    Sends ``2 r (n-1)/n`` per payload byte; half of that requires reductions.
+    The resident fraction is unchanged at the end.
+    """
+    _validate_ring(ring_size, resident_fraction)
+    n = ring_size
+    per_part = resident_fraction * (n - 1) / n if n > 1 else 0.0
+    return PhaseSpec(
+        dimension=dimension,
+        kind="all_reduce",
+        ring_size=n,
+        steps=max(0, 2 * (n - 1)),
+        bytes_sent_fraction=2 * per_part,
+        reduced_bytes_fraction=per_part,
+        resident_fraction_in=resident_fraction,
+        resident_fraction_out=resident_fraction,
+        parallel_group=parallel_group,
+    )

@@ -1,0 +1,30 @@
+"""NPU compute model.
+
+A roofline cost model plays the role of the paper's SCALE-sim-based compute
+simulator: each kernel is characterised by its FLOP count and its memory
+traffic, and the time on a given NPU configuration is the larger of the
+compute-bound and memory-bound times, scaled by the resources (SMs and HBM
+bandwidth) the system configuration leaves to the training computation.
+"""
+
+from repro.compute.kernels import (
+    KernelCost,
+    conv2d_cost,
+    elementwise_cost,
+    embedding_lookup_cost,
+    gemm_cost,
+    lstm_cell_cost,
+)
+from repro.compute.roofline import RooflineModel
+from repro.compute.npu import NpuComputeEngine
+
+__all__ = [
+    "KernelCost",
+    "conv2d_cost",
+    "elementwise_cost",
+    "embedding_lookup_cost",
+    "gemm_cost",
+    "lstm_cell_cost",
+    "RooflineModel",
+    "NpuComputeEngine",
+]

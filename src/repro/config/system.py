@@ -1,0 +1,385 @@
+"""Configuration dataclasses for the simulated training platform.
+
+The default values mirror Table V of the paper:
+
+* GPU-like NPU: 80 SMs, 120 TFLOPs FP16 peak, 1245 MHz.
+* 900 GB/s NPU-memory bandwidth, 500 GB/s NPU-AFI bus bandwidth.
+* Links: 200 GB/s intra-package (2 links -> 400 GB/s local ring),
+  25 GB/s inter-package (2 links per direction ring -> 50 GB/s vertical and
+  50 GB/s horizontal rings), 90 / 500 cycles link latency, 94 % efficiency.
+* ACE: 4 MB SRAM, 16 FSMs, 4 wide ALUs, 8 KB messages, 256 B packets,
+  64 KB initial chunks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.units import KB, MB, cycles_to_ns
+
+
+class EndpointKind(str, enum.Enum):
+    """Which endpoint model drives the accelerator fabric.
+
+    Matches Table VI of the paper: three baseline flavours, ACE, and the
+    ideal (zero endpoint cost) system.
+    """
+
+    BASELINE_NO_OVERLAP = "baseline_no_overlap"
+    BASELINE_COMM_OPT = "baseline_comm_opt"
+    BASELINE_COMP_OPT = "baseline_comp_opt"
+    ACE = "ace"
+    IDEAL = "ideal"
+
+    @property
+    def is_baseline(self) -> bool:
+        return self in (
+            EndpointKind.BASELINE_NO_OVERLAP,
+            EndpointKind.BASELINE_COMM_OPT,
+            EndpointKind.BASELINE_COMP_OPT,
+        )
+
+    @property
+    def overlaps_communication(self) -> bool:
+        """Whether communication may overlap with compute in the training loop."""
+        return self is not EndpointKind.BASELINE_NO_OVERLAP
+
+
+@dataclass(frozen=True)
+class ComputeConfig:
+    """GPU-like NPU compute engine parameters."""
+
+    num_sms: int = 80
+    peak_tflops_fp16: float = 120.0
+    frequency_mhz: float = 1245.0
+    #: Per-SM read/write width used to derive the memory bandwidth one SM can
+    #: drive for communication (64 bytes/cycle at 1245 MHz ~= 80 GB/s, Sec. III).
+    sm_bytes_per_cycle: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise ConfigurationError(f"num_sms must be positive, got {self.num_sms}")
+        if self.peak_tflops_fp16 <= 0:
+            raise ConfigurationError("peak_tflops_fp16 must be positive")
+        if self.frequency_mhz <= 0:
+            raise ConfigurationError("frequency_mhz must be positive")
+
+    @property
+    def sm_memory_bandwidth_gbps(self) -> float:
+        """Memory bandwidth a single SM can drive for communication (GB/s)."""
+        return self.sm_bytes_per_cycle * self.frequency_mhz / 1e3
+
+    @property
+    def tflops_per_sm(self) -> float:
+        return self.peak_tflops_fp16 / self.num_sms
+
+    def cycle_time_ns(self) -> float:
+        return cycles_to_ns(1.0, self.frequency_mhz)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """HBM and NPU-AFI bus parameters."""
+
+    npu_memory_bandwidth_gbps: float = 900.0
+    npu_afi_bus_bandwidth_gbps: float = 500.0
+    #: Fixed per-transaction overhead on the NPU-AFI bus and memory channel,
+    #: modelling transaction scheduling / queuing setup (Section V).
+    transaction_overhead_ns: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.npu_memory_bandwidth_gbps <= 0:
+            raise ConfigurationError("npu_memory_bandwidth_gbps must be positive")
+        if self.npu_afi_bus_bandwidth_gbps <= 0:
+            raise ConfigurationError("npu_afi_bus_bandwidth_gbps must be positive")
+        if self.transaction_overhead_ns < 0:
+            raise ConfigurationError("transaction_overhead_ns must be non-negative")
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Accelerator-fabric link parameters (per NPU) for the 3D torus.
+
+    The topology notation follows the paper: ``LxVxH`` where L NPUs share a
+    package (local intra-package ring) and packages form a VxH 2D torus
+    (vertical and horizontal inter-package rings).
+    """
+
+    intra_package_link_bandwidth_gbps: float = 200.0
+    inter_package_link_bandwidth_gbps: float = 25.0
+    intra_package_links: int = 2
+    inter_package_links_per_dim: int = 2
+    intra_package_latency_cycles: float = 90.0
+    inter_package_latency_cycles: float = 500.0
+    link_efficiency: float = 0.94
+    frequency_mhz: float = 1245.0
+    packet_size_bytes: int = 256
+
+    def __post_init__(self) -> None:
+        if not 0 < self.link_efficiency <= 1:
+            raise ConfigurationError("link_efficiency must be in (0, 1]")
+        if self.intra_package_link_bandwidth_gbps <= 0:
+            raise ConfigurationError("intra-package link bandwidth must be positive")
+        if self.inter_package_link_bandwidth_gbps <= 0:
+            raise ConfigurationError("inter-package link bandwidth must be positive")
+        if self.packet_size_bytes <= 0:
+            raise ConfigurationError("packet size must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived per-dimension ring bandwidths (Table V "Total BW")
+    # ------------------------------------------------------------------
+    @property
+    def local_ring_bandwidth_gbps(self) -> float:
+        """Effective intra-package ring bandwidth per NPU (400 GB/s in Table V)."""
+        return (
+            self.intra_package_link_bandwidth_gbps
+            * self.intra_package_links
+            * self.link_efficiency
+        )
+
+    @property
+    def vertical_ring_bandwidth_gbps(self) -> float:
+        """Effective vertical inter-package ring bandwidth per NPU (50 GB/s)."""
+        return (
+            self.inter_package_link_bandwidth_gbps
+            * self.inter_package_links_per_dim
+            * self.link_efficiency
+        )
+
+    @property
+    def horizontal_ring_bandwidth_gbps(self) -> float:
+        """Effective horizontal inter-package ring bandwidth per NPU (50 GB/s)."""
+        return self.vertical_ring_bandwidth_gbps
+
+    @property
+    def total_injection_bandwidth_gbps(self) -> float:
+        """Sum of all per-NPU ring bandwidths (upper bound on network drive)."""
+        return (
+            self.local_ring_bandwidth_gbps
+            + self.vertical_ring_bandwidth_gbps
+            + self.horizontal_ring_bandwidth_gbps
+        )
+
+    @property
+    def intra_package_latency_ns(self) -> float:
+        return cycles_to_ns(self.intra_package_latency_cycles, self.frequency_mhz)
+
+    @property
+    def inter_package_latency_ns(self) -> float:
+        return cycles_to_ns(self.inter_package_latency_cycles, self.frequency_mhz)
+
+    def dimension_bandwidth_gbps(self, dim: str) -> float:
+        """Ring bandwidth of a torus dimension ('local' | 'vertical' | 'horizontal')."""
+        table = {
+            "local": self.local_ring_bandwidth_gbps,
+            "vertical": self.vertical_ring_bandwidth_gbps,
+            "horizontal": self.horizontal_ring_bandwidth_gbps,
+        }
+        if dim not in table:
+            raise ConfigurationError(f"unknown torus dimension {dim!r}")
+        return table[dim]
+
+    def dimension_latency_ns(self, dim: str) -> float:
+        if dim == "local":
+            return self.intra_package_latency_ns
+        if dim in ("vertical", "horizontal"):
+            return self.inter_package_latency_ns
+        raise ConfigurationError(f"unknown torus dimension {dim!r}")
+
+
+@dataclass(frozen=True)
+class AceConfig:
+    """Accelerator Collectives Engine micro-architecture parameters (Section IV)."""
+
+    sram_bytes: int = 4 * MB
+    num_fsms: int = 16
+    num_alus: int = 4
+    #: Each ALU performs 16 x FP32 (or 32 x FP16) operations per cycle on a
+    #: 64-byte operand bus (Section IV-I).
+    alu_bytes_per_cycle: float = 64.0
+    frequency_mhz: float = 1245.0
+    chunk_bytes: int = 64 * KB
+    message_bytes: int = 8 * KB
+    packet_bytes: int = 256
+    #: SRAM macro read+write bandwidth available to the datapath, per bank.
+    sram_banks: int = 4
+    sram_bank_bandwidth_gbps: float = 160.0
+    #: DMA engines moving payloads between main memory and the ACE SRAM.
+    tx_dma_bandwidth_gbps: float = 500.0
+    rx_dma_bandwidth_gbps: float = 500.0
+    #: Memory bandwidth carved out of HBM for ACE DMA traffic (128 GB/s is the
+    #: operating point the paper identifies in Fig. 5).
+    memory_bandwidth_gbps: float = 128.0
+
+    def __post_init__(self) -> None:
+        if self.sram_bytes <= 0:
+            raise ConfigurationError("sram_bytes must be positive")
+        if self.num_fsms <= 0:
+            raise ConfigurationError("num_fsms must be positive")
+        if self.num_alus <= 0:
+            raise ConfigurationError("num_alus must be positive")
+        if self.chunk_bytes <= 0 or self.message_bytes <= 0 or self.packet_bytes <= 0:
+            raise ConfigurationError("chunk/message/packet sizes must be positive")
+        if self.message_bytes > self.chunk_bytes:
+            raise ConfigurationError("message size cannot exceed chunk size")
+        if self.packet_bytes > self.message_bytes:
+            raise ConfigurationError("packet size cannot exceed message size")
+
+    @property
+    def alu_throughput_gbps(self) -> float:
+        """Aggregate ALU streaming throughput (GB/s of reduced operand data)."""
+        return self.num_alus * self.alu_bytes_per_cycle * self.frequency_mhz / 1e3
+
+    @property
+    def sram_bandwidth_gbps(self) -> float:
+        """Aggregate SRAM bandwidth across banks (GB/s)."""
+        return self.sram_banks * self.sram_bank_bandwidth_gbps
+
+    @property
+    def max_inflight_chunks(self) -> int:
+        """How many chunks fit in SRAM simultaneously (capacity bound)."""
+        return max(1, self.sram_bytes // self.chunk_bytes)
+
+
+@dataclass(frozen=True)
+class ResourcePolicy:
+    """How a system configuration splits NPU resources between compute and comms.
+
+    These splits implement Table VI: e.g. BaselineCommOpt dedicates 6 SMs and
+    450 GB/s of memory bandwidth to communication; BaselineCompOpt and ACE
+    leave 128 GB/s for communication traffic; the ideal system charges nothing.
+    """
+
+    comm_sms: int = 0
+    comm_memory_bandwidth_gbps: float = 0.0
+    #: Whether collective processing consumes NPU SMs at all (False for ACE/Ideal).
+    comm_uses_npu_sms: bool = True
+    #: Whether collective traffic touches main memory per step (False for Ideal).
+    comm_uses_memory: bool = True
+
+    def __post_init__(self) -> None:
+        if self.comm_sms < 0:
+            raise ConfigurationError("comm_sms must be non-negative")
+        if self.comm_memory_bandwidth_gbps < 0:
+            raise ConfigurationError("comm_memory_bandwidth_gbps must be non-negative")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete description of one simulated platform configuration."""
+
+    name: str
+    endpoint: EndpointKind
+    compute: ComputeConfig = field(default_factory=ComputeConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    ace: AceConfig = field(default_factory=AceConfig)
+    policy: ResourcePolicy = field(default_factory=ResourcePolicy)
+    #: Scheduling policy for pending collectives: "lifo" (paper default) or "fifo".
+    collective_scheduling: str = "lifo"
+    #: Fixed overhead from issuing a collective until its first chunk can be
+    #: processed.  For the baselines this is the communication-kernel launch
+    #: and scheduling cost on a busy GPU (Section III measures multi-us
+    #: degradations from exactly this contention); for ACE it is the small
+    #: NPU-to-AFI command interface cost; the ideal system pays nothing.
+    collective_launch_overhead_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.collective_scheduling not in ("lifo", "fifo"):
+            raise ConfigurationError(
+                f"collective_scheduling must be 'lifo' or 'fifo', got "
+                f"{self.collective_scheduling!r}"
+            )
+        if self.policy.comm_sms > self.compute.num_sms:
+            raise ConfigurationError(
+                "cannot allocate more SMs to communication than the NPU has"
+            )
+        if (
+            self.policy.comm_memory_bandwidth_gbps
+            > self.memory.npu_memory_bandwidth_gbps
+        ):
+            raise ConfigurationError(
+                "cannot allocate more memory bandwidth to communication than available"
+            )
+        if self.collective_launch_overhead_ns < 0:
+            raise ConfigurationError("collective_launch_overhead_ns must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Derived resource views (what the training computation gets to use)
+    # ------------------------------------------------------------------
+    @property
+    def compute_sms(self) -> int:
+        """SMs left for the training computation.
+
+        BaselineNoOverlap time-shares the NPU: compute and communication never
+        run concurrently, so the training computation sees every SM.
+        """
+        if not self.policy.comm_uses_npu_sms:
+            return self.compute.num_sms
+        if self.endpoint is EndpointKind.BASELINE_NO_OVERLAP:
+            return self.compute.num_sms
+        return self.compute.num_sms - self.policy.comm_sms
+
+    @property
+    def compute_tflops(self) -> float:
+        """Peak TFLOPs available to the training computation."""
+        return self.compute.tflops_per_sm * self.compute_sms
+
+    @property
+    def compute_memory_bandwidth_gbps(self) -> float:
+        """HBM bandwidth left for the training computation.
+
+        BaselineNoOverlap time-shares the NPU (no concurrent communication),
+        so compute keeps the full HBM bandwidth.
+        """
+        if self.endpoint is EndpointKind.BASELINE_NO_OVERLAP:
+            return self.memory.npu_memory_bandwidth_gbps
+        reserved = 0.0
+        if self.endpoint is EndpointKind.ACE:
+            reserved = self.ace.memory_bandwidth_gbps
+        elif self.policy.comm_uses_memory:
+            reserved = self.policy.comm_memory_bandwidth_gbps
+        return max(0.0, self.memory.npu_memory_bandwidth_gbps - reserved)
+
+    @property
+    def comm_memory_bandwidth_gbps(self) -> float:
+        """HBM bandwidth available for collective traffic."""
+        if self.endpoint is EndpointKind.IDEAL:
+            return self.memory.npu_memory_bandwidth_gbps
+        if self.endpoint is EndpointKind.ACE:
+            return self.ace.memory_bandwidth_gbps
+        return self.policy.comm_memory_bandwidth_gbps
+
+    @property
+    def comm_sm_bandwidth_gbps(self) -> float:
+        """Memory bandwidth the communication SMs can drive (baseline only)."""
+        if not self.policy.comm_uses_npu_sms:
+            return float("inf")
+        return self.policy.comm_sms * self.compute.sm_memory_bandwidth_gbps
+
+    def with_overrides(self, **changes) -> "SystemConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> Dict[str, object]:
+        """Flat dictionary of the headline parameters (for reports/tests)."""
+        return {
+            "name": self.name,
+            "endpoint": self.endpoint.value,
+            "num_sms": self.compute.num_sms,
+            "compute_sms": self.compute_sms,
+            "comm_sms": self.policy.comm_sms,
+            "peak_tflops": self.compute.peak_tflops_fp16,
+            "compute_tflops": self.compute_tflops,
+            "memory_bw_gbps": self.memory.npu_memory_bandwidth_gbps,
+            "compute_mem_bw_gbps": self.compute_memory_bandwidth_gbps,
+            "comm_mem_bw_gbps": self.comm_memory_bandwidth_gbps,
+            "network_injection_bw_gbps": self.network.total_injection_bandwidth_gbps,
+            "scheduling": self.collective_scheduling,
+        }
+
+
+TorusShape = Tuple[int, int, int]

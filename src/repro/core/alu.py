@@ -1,0 +1,54 @@
+"""ACE reduction ALUs.
+
+Section IV-I: four wide ALUs, each reducing 16 x FP32 or 32 x FP16 elements
+per cycle over 64-byte operand buses, fed directly from the SRAM.  The array
+behaves as a streaming reducer with an aggregate throughput of
+``num_alus x 64 B x f`` (≈318 GB/s at 1245 MHz for the default configuration),
+which comfortably exceeds the per-NPU network bandwidth so reductions are
+never the collective bottleneck — exactly the design intent.
+"""
+
+from __future__ import annotations
+
+from repro.config.system import AceConfig
+from repro.errors import ResourceError
+from repro.sim.resources import BandwidthResource, Reservation
+from repro.sim.trace import IntervalTracer
+
+
+class AluArray:
+    """Streaming reduction unit array."""
+
+    def __init__(self, config: AceConfig) -> None:
+        throughput = config.alu_throughput_gbps
+        if throughput <= 0:
+            raise ResourceError("ALU throughput must be positive")
+        self.config = config
+        self.throughput_gbps = throughput
+        self.tracer = IntervalTracer("ace-alu")
+        self._pipe = BandwidthResource(
+            name="ace-alu", bandwidth_gbps=throughput, trace=self.tracer
+        )
+        self._reduced_bytes = 0.0
+
+    def reduce(self, num_bytes: float, earliest_start: float) -> Reservation:
+        """Stream ``num_bytes`` of received data through the reducers."""
+        if num_bytes < 0:
+            raise ResourceError("cannot reduce a negative number of bytes")
+        self._reduced_bytes += num_bytes
+        return self._pipe.reserve(num_bytes, earliest_start)
+
+    @property
+    def reduced_bytes(self) -> float:
+        return self._reduced_bytes
+
+    @property
+    def busy_time(self) -> float:
+        return self._pipe.busy_time
+
+    def utilization(self, horizon_ns: float) -> float:
+        return self._pipe.utilization(horizon_ns)
+
+    def reset(self) -> None:
+        self._pipe.reset()
+        self._reduced_bytes = 0.0

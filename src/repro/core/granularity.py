@@ -1,0 +1,86 @@
+"""Data granularity policy (Table III).
+
+ACE receives a *payload* (one collective's worth of gradients or activations)
+from the NPU, splits it into *chunks* for pipelining, runs the collective
+algorithm at *message* granularity (a multiple of the node count), and hands
+*packets* to the AFI for link transfer.  :class:`GranularityPolicy` holds the
+sizes and performs the decompositions; it is shared by ACE and by the
+experiments that sweep chunk sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.config.system import AceConfig
+from repro.errors import CollectiveError
+from repro.network.messages import split_payload
+
+
+@dataclass(frozen=True)
+class GranularityPolicy:
+    """Chunk / message / packet sizing rules."""
+
+    chunk_bytes: int
+    message_bytes: int
+    packet_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes <= 0 or self.message_bytes <= 0 or self.packet_bytes <= 0:
+            raise CollectiveError("all granularity sizes must be positive")
+        if self.message_bytes > self.chunk_bytes:
+            raise CollectiveError(
+                f"message size {self.message_bytes} exceeds chunk size {self.chunk_bytes}"
+            )
+        if self.packet_bytes > self.message_bytes:
+            raise CollectiveError(
+                f"packet size {self.packet_bytes} exceeds message size {self.message_bytes}"
+            )
+
+    @classmethod
+    def from_ace_config(cls, config: AceConfig) -> "GranularityPolicy":
+        return cls(
+            chunk_bytes=config.chunk_bytes,
+            message_bytes=config.message_bytes,
+            packet_bytes=config.packet_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Decomposition
+    # ------------------------------------------------------------------
+    def chunks_for_payload(self, payload_bytes: int) -> List[int]:
+        """Chunk sizes for a payload (last chunk may be partial)."""
+        return split_payload(payload_bytes, self.chunk_bytes)
+
+    def num_chunks(self, payload_bytes: int) -> int:
+        return len(self.chunks_for_payload(payload_bytes))
+
+    def messages_per_chunk(self, chunk_bytes: int, num_nodes: int) -> int:
+        """Number of messages a chunk splits into: a multiple of the node count.
+
+        The collective algorithm operates on groups of ``num_nodes`` messages
+        (Section IV-C); the chunk is split into the smallest such multiple
+        that keeps messages at or below the configured message size.
+        """
+        if num_nodes <= 0:
+            raise CollectiveError(f"num_nodes must be positive, got {num_nodes}")
+        if chunk_bytes <= 0:
+            raise CollectiveError(f"chunk_bytes must be positive, got {chunk_bytes}")
+        groups = 1
+        while chunk_bytes / (groups * num_nodes) > self.message_bytes:
+            groups += 1
+        return groups * num_nodes
+
+    def packets_per_message(self, message_bytes: float) -> int:
+        """Number of link packets for one message."""
+        if message_bytes <= 0:
+            raise CollectiveError(f"message_bytes must be positive, got {message_bytes}")
+        full, rest = divmod(message_bytes, self.packet_bytes)
+        return int(full) + (1 if rest else 0)
+
+    def describe(self) -> str:
+        return (
+            f"chunk={self.chunk_bytes}B message={self.message_bytes}B "
+            f"packet={self.packet_bytes}B"
+        )

@@ -1,0 +1,159 @@
+"""ACE SRAM scratchpad and its partitioning heuristic.
+
+Section IV-E/IV-I: the SRAM is divided into one partition per phase of the
+collective algorithm plus a *terminal* partition that stages final results for
+the RX DMA.  Partition sizes follow a simple heuristic — proportional to
+(phase bandwidth x chunk size handled in that phase) — with the terminal
+partition sized like the last phase's partition.
+
+The scratchpad also enforces capacity: a chunk can only be admitted into a
+phase partition if space is available, which is what bounds the number of
+in-flight chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.collectives.base import CollectivePlan
+from repro.config.system import AceConfig, NetworkConfig
+from repro.errors import ResourceError
+
+
+@dataclass
+class SramPartition:
+    """One phase's slice of the ACE SRAM."""
+
+    name: str
+    capacity_bytes: int
+    used_bytes: int = 0
+
+    def can_fit(self, num_bytes: int) -> bool:
+        return self.used_bytes + num_bytes <= self.capacity_bytes
+
+    def allocate(self, num_bytes: int) -> None:
+        if num_bytes < 0:
+            raise ResourceError(f"cannot allocate negative bytes in {self.name}")
+        if not self.can_fit(num_bytes):
+            raise ResourceError(
+                f"SRAM partition {self.name!r} overflow: "
+                f"{self.used_bytes} + {num_bytes} > {self.capacity_bytes}"
+            )
+        self.used_bytes += num_bytes
+
+    def release(self, num_bytes: int) -> None:
+        if num_bytes > self.used_bytes:
+            raise ResourceError(
+                f"SRAM partition {self.name!r} underflow: releasing {num_bytes} "
+                f"with only {self.used_bytes} used"
+            )
+        self.used_bytes -= num_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def occupancy(self) -> float:
+        return self.used_bytes / self.capacity_bytes if self.capacity_bytes else 0.0
+
+
+def partition_sram(
+    plan: CollectivePlan,
+    ace: AceConfig,
+    network: NetworkConfig,
+) -> Dict[str, int]:
+    """Split the SRAM across phases using the paper's heuristic.
+
+    Each phase's weight is ``dimension bandwidth x bytes handled per chunk in
+    that phase`` (the ``resident_fraction_in`` of the phase); the terminal
+    partition gets the same share as the last phase.  Returns a mapping from
+    partition name (``phase0`` ... ``phaseN-1``, ``terminal``) to bytes.
+    """
+    if not plan.phases:
+        return {"terminal": ace.sram_bytes}
+    weights: List[float] = []
+    for phase in plan.phases:
+        bandwidth = network.dimension_bandwidth_gbps(phase.dimension)
+        handled = max(phase.resident_fraction_in, phase.resident_fraction_out)
+        weights.append(max(1e-9, bandwidth * handled))
+    weights.append(weights[-1])  # terminal partition mirrors the last phase
+    total_weight = sum(weights)
+    sizes: Dict[str, int] = {}
+    remaining = ace.sram_bytes
+    for i, weight in enumerate(weights):
+        name = "terminal" if i == len(weights) - 1 else f"phase{i}"
+        if i == len(weights) - 1:
+            size = remaining
+        else:
+            size = int(ace.sram_bytes * weight / total_weight)
+            size = min(size, remaining)
+        sizes[name] = size
+        remaining -= size
+    return sizes
+
+
+class SramScratchpad:
+    """The partitioned ACE scratchpad with capacity tracking."""
+
+    def __init__(self, partition_sizes: Dict[str, int]) -> None:
+        if not partition_sizes:
+            raise ResourceError("SRAM needs at least one partition")
+        total = sum(partition_sizes.values())
+        if total <= 0:
+            raise ResourceError("total SRAM capacity must be positive")
+        self._partitions = {
+            name: SramPartition(name, size) for name, size in partition_sizes.items()
+        }
+        self.capacity_bytes = total
+
+    @classmethod
+    def for_plan(
+        cls, plan: CollectivePlan, ace: AceConfig, network: NetworkConfig
+    ) -> "SramScratchpad":
+        return cls(partition_sram(plan, ace, network))
+
+    # ------------------------------------------------------------------
+    # Partition access
+    # ------------------------------------------------------------------
+    @property
+    def partition_names(self) -> List[str]:
+        return list(self._partitions)
+
+    def partition(self, name: str) -> SramPartition:
+        try:
+            return self._partitions[name]
+        except KeyError:
+            raise ResourceError(f"no SRAM partition named {name!r}") from None
+
+    def phase_partition(self, phase_index: int) -> SramPartition:
+        return self.partition(f"phase{phase_index}")
+
+    def terminal_partition(self) -> SramPartition:
+        return self.partition("terminal")
+
+    # ------------------------------------------------------------------
+    # Aggregate occupancy
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return sum(p.used_bytes for p in self._partitions.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def can_admit_chunk(self, chunk_bytes: int, phase_index: int = 0) -> bool:
+        """Whether a new chunk fits in the given phase partition."""
+        name = f"phase{phase_index}"
+        if name not in self._partitions:
+            name = "terminal"
+        return self._partitions[name].can_fit(chunk_bytes)
+
+    def occupancy(self) -> float:
+        return self.used_bytes / self.capacity_bytes if self.capacity_bytes else 0.0
+
+    def reset(self) -> None:
+        for partition in self._partitions.values():
+            partition.used_bytes = 0

@@ -1,0 +1,28 @@
+"""Endpoint models: who pays for collective processing at each NPU.
+
+The endpoint is where the paper's story plays out.  Every collective step
+requires moving data between memory / scratchpad and the network and (for
+reduce-like steps) summing the received data with the local copy:
+
+* the **baseline** endpoint does this with NPU SMs and HBM bandwidth,
+* the **ACE** endpoint does it with the dedicated engine next to the AFI,
+* the **ideal** endpoint does it for free (upper bound).
+
+:func:`make_endpoint` builds the right model from a
+:class:`~repro.config.system.SystemConfig`.
+"""
+
+from repro.endpoint.base import Endpoint, PhaseWork
+from repro.endpoint.baseline import BaselineEndpoint
+from repro.endpoint.ideal import IdealEndpoint
+from repro.endpoint.ace import AceEndpoint
+from repro.endpoint.factory import make_endpoint
+
+__all__ = [
+    "Endpoint",
+    "PhaseWork",
+    "BaselineEndpoint",
+    "IdealEndpoint",
+    "AceEndpoint",
+    "make_endpoint",
+]

@@ -1,0 +1,22 @@
+"""Endpoint construction from a system configuration."""
+
+from __future__ import annotations
+
+from repro.config.system import EndpointKind, SystemConfig
+from repro.endpoint.ace import AceEndpoint
+from repro.endpoint.base import Endpoint
+from repro.endpoint.baseline import BaselineEndpoint
+from repro.endpoint.ideal import IdealEndpoint
+from repro.errors import ConfigurationError
+
+
+def make_endpoint(system: SystemConfig) -> Endpoint:
+    """Build the endpoint model that matches ``system.endpoint``."""
+    kind = system.endpoint
+    if kind is EndpointKind.ACE:
+        return AceEndpoint(system)
+    if kind is EndpointKind.IDEAL:
+        return IdealEndpoint(system)
+    if kind.is_baseline:
+        return BaselineEndpoint(system)
+    raise ConfigurationError(f"no endpoint model for {kind}")

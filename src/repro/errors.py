@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated Python errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A system, workload or experiment configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class TopologyError(ConfigurationError):
+    """A network topology was constructed with invalid parameters."""
+
+
+class RoutingError(SimulationError):
+    """A packet or message could not be routed to its destination."""
+
+
+class CollectiveError(ReproError):
+    """A collective algorithm was asked to do something unsupported."""
+
+
+class ResourceError(SimulationError):
+    """A simulated hardware resource was used incorrectly."""
+
+
+class WorkloadError(ConfigurationError):
+    """A workload definition is malformed."""
+
+
+class SchedulingError(SimulationError):
+    """The collective or compute scheduler reached an invalid state."""

@@ -1,0 +1,76 @@
+"""Shared helpers for the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.config.presets import make_system, torus_shape_for_npus
+from repro.network.topology import Torus3D, torus_from_shape
+from repro.training.loop import simulate_training
+from repro.training.results import TrainingResult
+from repro.units import KB
+from repro.workloads.registry import build_workload
+
+#: Chunk sizes used by the fast experiment mode, per workload.  Larger chunks
+#: keep the event count (and therefore wall-clock time) manageable without
+#: changing who wins; the full mode uses the paper's 64 KB chunks.
+FAST_CHUNK_BYTES: Dict[str, int] = {
+    "resnet50": 128 * KB,
+    "gnmt": 1024 * KB,
+    "dlrm": 512 * KB,
+    "megatron": 1024 * KB,
+}
+
+PAPER_SYSTEMS = (
+    "baseline_no_overlap",
+    "baseline_comm_opt",
+    "baseline_comp_opt",
+    "ace",
+    "ideal",
+)
+
+
+def topology_for(num_npus: int) -> Torus3D:
+    """The canonical LxVxH torus for a paper platform size."""
+    return torus_from_shape(torus_shape_for_npus(num_npus))
+
+
+def chunk_bytes_for(workload_name: str, fast: bool) -> Optional[int]:
+    """Chunk size used by the experiments for a workload."""
+    if not fast:
+        return None  # paper default (64 KB) from the system configuration
+    return FAST_CHUNK_BYTES.get(workload_name, 256 * KB)
+
+
+def run_grid(
+    systems: Sequence[str] = PAPER_SYSTEMS,
+    workloads: Sequence[str] = ("resnet50", "gnmt", "dlrm"),
+    sizes: Sequence[int] = (16, 32, 64, 128),
+    iterations: int = 2,
+    fast: bool = True,
+    overlap_embedding: bool = False,
+) -> List[TrainingResult]:
+    """Simulate every (system, workload, size) combination and return results."""
+    results: List[TrainingResult] = []
+    for workload_name in workloads:
+        workload = build_workload(workload_name)
+        chunk = chunk_bytes_for(workload_name, fast)
+        for num_npus in sizes:
+            for system_name in systems:
+                system = make_system(system_name)
+                results.append(
+                    simulate_training(
+                        system,
+                        workload,
+                        num_npus=num_npus,
+                        iterations=iterations,
+                        chunk_bytes=chunk,
+                        overlap_embedding=overlap_embedding,
+                    )
+                )
+    return results
+
+
+def results_to_rows(results: Iterable[TrainingResult]) -> List[Dict[str, object]]:
+    """Flatten training results into printable rows."""
+    return [result.as_row() for result in results]

@@ -1,0 +1,110 @@
+"""Fig. 10 — compute / communication overlap timelines.
+
+The paper plots, for two training iterations on a 4x8x4 (128-NPU) platform,
+the windowed compute and network utilization of BaselineCommOpt,
+BaselineCompOpt, ACE and Ideal for each workload.  This harness produces the
+same data: a windowed utilization series per (system, workload) plus the
+summary statistics the paper quotes in the text (exposed-communication share
+of the iteration time and the fraction of the ideal system's performance each
+configuration reaches).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.report import format_table
+from repro.config.presets import make_system
+from repro.experiments.common import chunk_bytes_for, topology_for
+from repro.training.loop import simulate_training
+from repro.training.results import TrainingResult
+from repro.workloads.registry import build_workload
+
+#: Systems plotted in Fig. 10 (columns a-d).
+FIG10_SYSTEMS = ("baseline_comm_opt", "baseline_comp_opt", "ace", "ideal")
+
+
+def run_fig10(
+    fast: bool = True,
+    workloads: Sequence[str] = ("resnet50", "gnmt", "dlrm"),
+    num_npus: int = 128,
+    iterations: int = 2,
+) -> List[Dict[str, object]]:
+    """Summary rows (one per system x workload) of the Fig. 10 timelines."""
+    if fast:
+        num_npus = min(num_npus, 64)
+        workloads = tuple(workloads)[:2] if len(workloads) > 2 else workloads
+    topology = topology_for(num_npus)
+    results: Dict[tuple, TrainingResult] = {}
+    for workload_name in workloads:
+        workload = build_workload(workload_name)
+        chunk = chunk_bytes_for(workload_name, fast)
+        for system_name in FIG10_SYSTEMS:
+            results[(workload_name, system_name)] = simulate_training(
+                make_system(system_name),
+                workload,
+                num_npus=topology,
+                iterations=iterations,
+                chunk_bytes=chunk,
+            )
+    rows: List[Dict[str, object]] = []
+    for (workload_name, system_name), result in results.items():
+        ideal = results[(workload_name, "ideal")]
+        mean_net_util = (
+            sum(u for _, u in result.network_utilization_series)
+            / max(1, len(result.network_utilization_series))
+        )
+        mean_compute_util = (
+            sum(u for _, u in result.compute_utilization_series)
+            / max(1, len(result.compute_utilization_series))
+        )
+        rows.append(
+            {
+                "workload": workload_name,
+                "system": result.system_name,
+                "npus": result.num_npus,
+                "iteration_time_us": result.iteration_time_us,
+                "exposed_comm_pct": 100.0 * result.exposed_comm_fraction,
+                "mean_compute_util": mean_compute_util,
+                "mean_network_util": mean_net_util,
+                "fraction_of_ideal": result.fraction_of_ideal(ideal),
+                "timeline_windows": len(result.network_utilization_series),
+            }
+        )
+    return rows
+
+
+def timeline_series(
+    system_name: str,
+    workload_name: str,
+    num_npus: int = 128,
+    fast: bool = True,
+    iterations: int = 2,
+) -> Dict[str, List[tuple]]:
+    """The raw (time, utilization) series for one Fig. 10 panel."""
+    if fast:
+        num_npus = min(num_npus, 64)
+    result = simulate_training(
+        make_system(system_name),
+        build_workload(workload_name),
+        num_npus=topology_for(num_npus),
+        iterations=iterations,
+        chunk_bytes=chunk_bytes_for(workload_name, fast),
+    )
+    return {
+        "compute": result.compute_utilization_series,
+        "network": result.network_utilization_series,
+    }
+
+
+def main(fast: bool = True) -> str:
+    table = format_table(
+        run_fig10(fast=fast),
+        title="Fig. 10 — compute/communication overlap summary (2 iterations)",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main(fast=False)

@@ -1,0 +1,89 @@
+"""Fig. 12 — DLRM training-loop optimisation enabled by ACE's freed memory BW.
+
+The spare memory bandwidth ACE leaves on the NPU can be spent on
+workload-level optimisations.  The paper's example: dedicate one SM and
+80 GB/s to performing the embedding lookup of the *next* iteration and the
+embedding update of the *previous* iteration off the critical path, and issue
+the forward all-to-all as soon as the early lookup finishes.  The embedding
+stage then disappears from the training loop's critical path.
+
+BaselineCompOpt barely benefits (its communication is the bottleneck), while
+ACE converts the saving directly into iteration time — the paper reports
+1.05x vs 1.2x improvements respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.report import format_table
+from repro.config.presets import make_system
+from repro.experiments.common import chunk_bytes_for, topology_for
+from repro.training.loop import simulate_training
+from repro.workloads.registry import build_workload
+
+FIG12_SYSTEMS = ("baseline_comp_opt", "ace")
+
+
+def run_fig12(
+    fast: bool = True,
+    num_npus: int = 128,
+    iterations: int = 2,
+    systems: Sequence[str] = FIG12_SYSTEMS,
+) -> List[Dict[str, object]]:
+    """Default vs optimised DLRM training loop for the baseline and ACE."""
+    if fast:
+        num_npus = min(num_npus, 64)
+    topology = topology_for(num_npus)
+    workload = build_workload("dlrm")
+    chunk = chunk_bytes_for("dlrm", fast)
+    rows: List[Dict[str, object]] = []
+    for system_name in systems:
+        system = make_system(system_name)
+        default = simulate_training(
+            system, workload, num_npus=topology, iterations=iterations, chunk_bytes=chunk
+        )
+        optimised = simulate_training(
+            system,
+            workload,
+            num_npus=topology,
+            iterations=iterations,
+            chunk_bytes=chunk,
+            overlap_embedding=True,
+        )
+        for label, result in (("default", default), ("optimized", optimised)):
+            rows.append(
+                {
+                    "system": result.system_name,
+                    "loop": label,
+                    "npus": result.num_npus,
+                    "total_compute_us": result.total_compute_us,
+                    "exposed_comm_us": result.exposed_comm_us,
+                    "total_time_us": result.total_time_us,
+                }
+            )
+        rows.append(
+            {
+                "system": system.name,
+                "loop": "improvement",
+                "npus": num_npus,
+                "total_compute_us": 0.0,
+                "exposed_comm_us": 0.0,
+                "total_time_us": default.total_time_us / optimised.total_time_us,
+            }
+        )
+    return rows
+
+
+def main(fast: bool = True) -> str:
+    table = format_table(
+        run_fig12(fast=fast),
+        title="Fig. 12 — DLRM default vs optimised training loop "
+        "(the 'improvement' rows give the speedup ratio in the total_time_us column)",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main(fast=False)

@@ -1,0 +1,7 @@
+"""Endpoint memory system: HBM bandwidth partitions, NPU-AFI bus and DMA engines."""
+
+from repro.memory.hbm import MemoryPartition, MemorySystem
+from repro.memory.bus import Bus
+from repro.memory.dma import DmaEngine
+
+__all__ = ["MemoryPartition", "MemorySystem", "Bus", "DmaEngine"]

@@ -1,0 +1,40 @@
+"""Accelerator Fabric (AF) network models.
+
+Two backends are provided:
+
+* :class:`~repro.network.fabric.FabricSimulator` — a per-message, multi-node
+  event-driven model with explicit links and XYZ routing.  Used for small
+  systems, all-to-all traffic and for validating the fast backend.
+* :class:`~repro.network.symmetric.SymmetricFabric` — a single
+  representative-node model that exploits the symmetry of the paper's
+  topologies and collectives.  Used for the large scaling sweeps.
+"""
+
+from repro.network.topology import (
+    RingTopology,
+    SwitchTopology,
+    Topology,
+    Torus3D,
+)
+from repro.network.links import Link, LinkKind
+from repro.network.messages import Chunk, Message, Packet
+from repro.network.routing import xyz_route, ring_distance
+from repro.network.fabric import FabricSimulator
+from repro.network.symmetric import DimensionPipe, SymmetricFabric
+
+__all__ = [
+    "RingTopology",
+    "SwitchTopology",
+    "Topology",
+    "Torus3D",
+    "Link",
+    "LinkKind",
+    "Chunk",
+    "Message",
+    "Packet",
+    "xyz_route",
+    "ring_distance",
+    "FabricSimulator",
+    "DimensionPipe",
+    "SymmetricFabric",
+]

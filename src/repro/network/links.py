@@ -1,0 +1,90 @@
+"""Physical link model.
+
+A link is a FIFO-serialised bandwidth pipe with a fixed traversal latency.
+The Accelerator Fabric distinguishes intra-package links (silicon interposer,
+200 GB/s, 90-cycle latency) from inter-package links (NVLink/Xe-Link class,
+25 GB/s, 500-cycle latency); both are ~94 % efficient (Table V).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.config.system import NetworkConfig
+from repro.sim.resources import BandwidthResource, Reservation
+from repro.sim.trace import IntervalTracer
+
+
+class LinkKind(str, enum.Enum):
+    """Physical class of a link."""
+
+    INTRA_PACKAGE = "intra_package"
+    INTER_PACKAGE = "inter_package"
+
+    @classmethod
+    def for_dimension(cls, dimension: str) -> "LinkKind":
+        """The paper maps the local torus dimension to intra-package links."""
+        return cls.INTRA_PACKAGE if dimension == "local" else cls.INTER_PACKAGE
+
+
+class Link:
+    """One directed physical link between two NPUs (or NPU and switch port)."""
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        dimension: str,
+        network: NetworkConfig,
+        traced: bool = False,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.dimension = dimension
+        self.kind = LinkKind.for_dimension(dimension)
+        if self.kind is LinkKind.INTRA_PACKAGE:
+            raw_bw = network.intra_package_link_bandwidth_gbps
+            latency = network.intra_package_latency_ns
+        else:
+            raw_bw = network.inter_package_link_bandwidth_gbps
+            latency = network.inter_package_latency_ns
+        self.raw_bandwidth_gbps = raw_bw
+        self.effective_bandwidth_gbps = raw_bw * network.link_efficiency
+        self.latency_ns = latency
+        self.tracer: Optional[IntervalTracer] = (
+            IntervalTracer(f"link-{src}->{dst}-{dimension}") if traced else None
+        )
+        self._pipe = BandwidthResource(
+            name=f"link[{src}->{dst}:{dimension}]",
+            bandwidth_gbps=self.effective_bandwidth_gbps,
+            latency_ns=self.latency_ns,
+            trace=self.tracer,
+        )
+
+    def reserve(self, num_bytes: float, earliest_start: float) -> Reservation:
+        """Queue ``num_bytes`` on this link starting no earlier than ``earliest_start``."""
+        return self._pipe.reserve(num_bytes, earliest_start)
+
+    @property
+    def busy_time(self) -> float:
+        return self._pipe.busy_time
+
+    @property
+    def bytes_moved(self) -> float:
+        return self._pipe.bytes_moved
+
+    def utilization(self, horizon_ns: float) -> float:
+        return self._pipe.utilization(horizon_ns)
+
+    def achieved_bandwidth_gbps(self, horizon_ns: float) -> float:
+        return self._pipe.achieved_bandwidth_gbps(horizon_ns)
+
+    def reset(self) -> None:
+        self._pipe.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Link({self.src}->{self.dst}, {self.dimension}, "
+            f"{self.effective_bandwidth_gbps:.1f} GB/s)"
+        )

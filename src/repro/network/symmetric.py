@@ -1,0 +1,145 @@
+"""Fast symmetric-node fabric model.
+
+All workloads and topologies evaluated in the paper are symmetric: every NPU
+holds the same amount of data, runs the same collective schedule and sees the
+same link bandwidths.  Under that symmetry the network behaviour of the whole
+system can be captured from the viewpoint of one representative NPU — exactly
+the viewpoint the paper itself uses in Fig. 8 ("from node X's view").
+
+:class:`SymmetricFabric` exposes, for the representative NPU, one
+:class:`DimensionPipe` per torus dimension.  A pipe aggregates the per-NPU
+ring bandwidth of that dimension (Table V: 400 GB/s local, 50 GB/s vertical,
+50 GB/s horizontal) and serialises transfers FIFO.  Link latency is charged
+per ring step.  Busy intervals are traced so network utilization timelines
+(Fig. 10) and achieved bandwidth (Figs. 5, 6, 11) can be reported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.config.system import NetworkConfig
+from repro.errors import TopologyError
+from repro.network.topology import TORUS_DIMENSIONS, Torus3D
+from repro.sim.resources import BandwidthResource, Reservation
+from repro.sim.trace import IntervalTracer, UtilizationTrace
+
+
+class DimensionPipe:
+    """Aggregated per-NPU ring bandwidth of one torus dimension."""
+
+    def __init__(self, dimension: str, bandwidth_gbps: float, latency_ns: float) -> None:
+        self.dimension = dimension
+        self.bandwidth_gbps = bandwidth_gbps
+        self.latency_ns = latency_ns
+        self.tracer = IntervalTracer(f"dim-{dimension}")
+        self._pipe = BandwidthResource(
+            name=f"pipe[{dimension}]",
+            bandwidth_gbps=bandwidth_gbps,
+            latency_ns=latency_ns,
+            trace=self.tracer,
+        )
+
+    def reserve(self, num_bytes: float, earliest_start: float) -> Reservation:
+        """Serialise ``num_bytes`` through this dimension's ring links."""
+        return self._pipe.reserve(num_bytes, earliest_start)
+
+    @property
+    def busy_time(self) -> float:
+        return self._pipe.busy_time
+
+    @property
+    def bytes_moved(self) -> float:
+        return self._pipe.bytes_moved
+
+    def utilization(self, horizon_ns: float) -> float:
+        return self._pipe.utilization(horizon_ns)
+
+    def achieved_bandwidth_gbps(self, horizon_ns: float) -> float:
+        return self._pipe.achieved_bandwidth_gbps(horizon_ns)
+
+    def reset(self) -> None:
+        self._pipe.reset()
+
+
+class SymmetricFabric:
+    """Per-dimension pipes for the representative NPU of a symmetric torus."""
+
+    def __init__(self, topology: Torus3D, network: NetworkConfig) -> None:
+        self.topology = topology
+        self.network = network
+        self._pipes: Dict[str, DimensionPipe] = {}
+        for dim in topology.active_dimensions():
+            self._pipes[dim] = DimensionPipe(
+                dimension=dim,
+                bandwidth_gbps=network.dimension_bandwidth_gbps(dim),
+                latency_ns=network.dimension_latency_ns(dim),
+            )
+
+    # ------------------------------------------------------------------
+    # Pipes
+    # ------------------------------------------------------------------
+    @property
+    def dimensions(self) -> List[str]:
+        return list(self._pipes)
+
+    def pipe(self, dimension: str) -> DimensionPipe:
+        try:
+            return self._pipes[dimension]
+        except KeyError:
+            raise TopologyError(
+                f"dimension {dimension!r} is not active in torus {self.topology.name}"
+            ) from None
+
+    def has_dimension(self, dimension: str) -> bool:
+        return dimension in self._pipes
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    @property
+    def injection_bandwidth_gbps(self) -> float:
+        """Total per-NPU injection bandwidth across active dimensions."""
+        return sum(p.bandwidth_gbps for p in self._pipes.values())
+
+    @property
+    def bytes_injected(self) -> float:
+        """Total bytes the representative NPU injected into the fabric."""
+        return sum(p.bytes_moved for p in self._pipes.values())
+
+    def achieved_bandwidth_gbps(self, horizon_ns: float) -> float:
+        """Average network bandwidth the representative NPU drove over ``horizon_ns``."""
+        if horizon_ns <= 0:
+            return 0.0
+        return self.bytes_injected / horizon_ns
+
+    def utilization(self, horizon_ns: float) -> float:
+        """Average fraction of links busy, irrespective of their bandwidth (Fig. 10)."""
+        if not self._pipes or horizon_ns <= 0:
+            return 0.0
+        return sum(p.utilization(horizon_ns) for p in self._pipes.values()) / len(self._pipes)
+
+    def utilization_series(self, horizon_ns: float, window_ns: float) -> List[tuple]:
+        """Windowed link-utilization series across all dimensions (Fig. 10)."""
+        trace = UtilizationTrace(window_ns)
+        tracers: Iterable[IntervalTracer] = [p.tracer for p in self._pipes.values()]
+        return trace.utilization_series(tracers, horizon_ns)
+
+    def last_activity(self) -> float:
+        """Latest time at which any dimension pipe was still busy."""
+        latest = 0.0
+        for pipe in self._pipes.values():
+            span = pipe.tracer.intervals
+            if span:
+                latest = max(latest, span[-1].end)
+        return latest
+
+    def reset(self) -> None:
+        for pipe in self._pipes.values():
+            pipe.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        dims = ", ".join(
+            f"{d}={p.bandwidth_gbps:.0f}GB/s" for d, p in self._pipes.items()
+        )
+        return f"SymmetricFabric({self.topology.name}: {dims})"

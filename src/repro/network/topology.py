@@ -1,0 +1,260 @@
+"""Network topologies for the Accelerator Fabric.
+
+The paper evaluates a point-to-point 3D torus built from an intra-package
+local ring (L NPUs per package) and inter-package vertical/horizontal rings
+(V rows x H columns of packages); the notation ``LxVxH`` names the shape.
+A plain ring and an idealised single-switch topology are also provided for
+unit tests, small examples and the switch-offload comparison discussed in
+Section IV-B.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import TopologyError
+
+Coordinate = Tuple[int, int, int]
+
+#: Torus dimension names in XYZ routing order (local, vertical, horizontal).
+TORUS_DIMENSIONS: Tuple[str, str, str] = ("local", "vertical", "horizontal")
+
+
+class Topology(abc.ABC):
+    """Abstract network topology: a set of nodes plus neighbor relations."""
+
+    @property
+    @abc.abstractmethod
+    def num_nodes(self) -> int:
+        """Number of NPU endpoints in the fabric."""
+
+    @abc.abstractmethod
+    def neighbors(self, node: int) -> List[int]:
+        """Directly-connected peers of ``node``."""
+
+    @abc.abstractmethod
+    def links(self) -> List[Tuple[int, int, str]]:
+        """All directed links as ``(src, dst, dimension)`` tuples."""
+
+    def nodes(self) -> range:
+        return range(self.num_nodes)
+
+    def validate_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise TopologyError(
+                f"node {node} out of range for topology with {self.num_nodes} nodes"
+            )
+
+
+@dataclass(frozen=True)
+class RingTopology(Topology):
+    """A single unidirectional/bidirectional ring of ``size`` nodes."""
+
+    size: int
+    bidirectional: bool = True
+    dimension: str = "local"
+
+    def __post_init__(self) -> None:
+        if self.size < 2:
+            raise TopologyError(f"a ring needs at least 2 nodes, got {self.size}")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.size
+
+    def neighbors(self, node: int) -> List[int]:
+        self.validate_node(node)
+        nxt = (node + 1) % self.size
+        prv = (node - 1) % self.size
+        return [nxt, prv] if self.bidirectional else [nxt]
+
+    def links(self) -> List[Tuple[int, int, str]]:
+        out: List[Tuple[int, int, str]] = []
+        for n in range(self.size):
+            out.append((n, (n + 1) % self.size, self.dimension))
+            if self.bidirectional:
+                out.append((n, (n - 1) % self.size, self.dimension))
+        return out
+
+    def next_on_ring(self, node: int, direction: int = +1) -> int:
+        """Neighbor of ``node`` in the given ring direction (+1 or -1)."""
+        self.validate_node(node)
+        if direction not in (+1, -1):
+            raise TopologyError(f"ring direction must be +1 or -1, got {direction}")
+        return (node + direction) % self.size
+
+
+@dataclass(frozen=True)
+class SwitchTopology(Topology):
+    """All endpoints hang off one logical switch (e.g. an NVSwitch group)."""
+
+    size: int
+    dimension: str = "switch"
+
+    def __post_init__(self) -> None:
+        if self.size < 2:
+            raise TopologyError(f"a switch needs at least 2 endpoints, got {self.size}")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.size
+
+    def neighbors(self, node: int) -> List[int]:
+        self.validate_node(node)
+        return [n for n in range(self.size) if n != node]
+
+    def links(self) -> List[Tuple[int, int, str]]:
+        return [
+            (a, b, self.dimension)
+            for a in range(self.size)
+            for b in range(self.size)
+            if a != b
+        ]
+
+
+class Torus3D(Topology):
+    """The paper's ``LxVxH`` 3D torus of NPUs.
+
+    Node ids are linearised as ``id = l + L * (v + V * h)``.  Each node has a
+    position on three rings:
+
+    * the **local** ring connects the L NPUs in a package,
+    * the **vertical** ring connects packages within a column (V packages),
+    * the **horizontal** ring connects packages within a row (H packages).
+
+    Dimensions of size 1 simply have no ring (and no links).
+    """
+
+    def __init__(self, local: int, vertical: int, horizontal: int) -> None:
+        for name, size in (("local", local), ("vertical", vertical), ("horizontal", horizontal)):
+            if size < 1:
+                raise TopologyError(f"{name} dimension must be >= 1, got {size}")
+        if local * vertical * horizontal < 2:
+            raise TopologyError("a torus needs at least 2 NPUs")
+        self.local = local
+        self.vertical = vertical
+        self.horizontal = horizontal
+
+    # ------------------------------------------------------------------
+    # Shape helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Coordinate:
+        return (self.local, self.vertical, self.horizontal)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.local * self.vertical * self.horizontal
+
+    @property
+    def name(self) -> str:
+        return f"{self.local}x{self.vertical}x{self.horizontal}"
+
+    def dimension_size(self, dim: str) -> int:
+        sizes = {
+            "local": self.local,
+            "vertical": self.vertical,
+            "horizontal": self.horizontal,
+        }
+        if dim not in sizes:
+            raise TopologyError(f"unknown torus dimension {dim!r}")
+        return sizes[dim]
+
+    def dimension_sizes(self) -> Dict[str, int]:
+        return {d: self.dimension_size(d) for d in TORUS_DIMENSIONS}
+
+    def active_dimensions(self) -> List[str]:
+        """Dimensions with more than one node (those that carry traffic)."""
+        return [d for d in TORUS_DIMENSIONS if self.dimension_size(d) > 1]
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+    def coordinates(self, node: int) -> Coordinate:
+        """Map a node id to its ``(l, v, h)`` coordinate."""
+        self.validate_node(node)
+        l = node % self.local
+        rest = node // self.local
+        v = rest % self.vertical
+        h = rest // self.vertical
+        return (l, v, h)
+
+    def node_id(self, l: int, v: int, h: int) -> int:
+        """Map an ``(l, v, h)`` coordinate to a node id."""
+        if not (0 <= l < self.local and 0 <= v < self.vertical and 0 <= h < self.horizontal):
+            raise TopologyError(f"coordinate ({l},{v},{h}) outside torus {self.name}")
+        return l + self.local * (v + self.vertical * h)
+
+    def neighbor_along(self, node: int, dim: str, direction: int = +1) -> int:
+        """Neighbor of ``node`` on the ring of dimension ``dim``."""
+        if direction not in (+1, -1):
+            raise TopologyError(f"ring direction must be +1 or -1, got {direction}")
+        l, v, h = self.coordinates(node)
+        size = self.dimension_size(dim)
+        if size == 1:
+            raise TopologyError(f"dimension {dim!r} has size 1; no ring neighbors")
+        if dim == "local":
+            l = (l + direction) % size
+        elif dim == "vertical":
+            v = (v + direction) % size
+        else:
+            h = (h + direction) % size
+        return self.node_id(l, v, h)
+
+    def ring_members(self, node: int, dim: str) -> List[int]:
+        """All nodes sharing ``node``'s ring in dimension ``dim`` (in ring order)."""
+        l, v, h = self.coordinates(node)
+        size = self.dimension_size(dim)
+        members = []
+        for i in range(size):
+            if dim == "local":
+                members.append(self.node_id(i, v, h))
+            elif dim == "vertical":
+                members.append(self.node_id(l, i, h))
+            else:
+                members.append(self.node_id(l, v, i))
+        return members
+
+    def ring_position(self, node: int, dim: str) -> int:
+        """Index of ``node`` within its ring of dimension ``dim``."""
+        l, v, h = self.coordinates(node)
+        return {"local": l, "vertical": v, "horizontal": h}[dim]
+
+    # ------------------------------------------------------------------
+    # Topology protocol
+    # ------------------------------------------------------------------
+    def neighbors(self, node: int) -> List[int]:
+        self.validate_node(node)
+        seen = []
+        for dim in self.active_dimensions():
+            size = self.dimension_size(dim)
+            for direction in (+1, -1):
+                peer = self.neighbor_along(node, dim, direction)
+                # A ring of size 2 has the same peer in both directions.
+                if peer != node and peer not in seen:
+                    seen.append(peer)
+                if size == 2:
+                    break
+        return seen
+
+    def links(self) -> List[Tuple[int, int, str]]:
+        out: List[Tuple[int, int, str]] = []
+        for node in self.nodes():
+            for dim in self.active_dimensions():
+                size = self.dimension_size(dim)
+                directions: Iterable[int] = (+1,) if size == 2 else (+1, -1)
+                for direction in directions:
+                    out.append((node, self.neighbor_along(node, dim, direction), dim))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Torus3D({self.name}, nodes={self.num_nodes})"
+
+
+def torus_from_shape(shape: Sequence[int]) -> Torus3D:
+    """Build a :class:`Torus3D` from an ``(L, V, H)`` shape tuple."""
+    if len(shape) != 3:
+        raise TopologyError(f"torus shape must have 3 dimensions, got {shape!r}")
+    return Torus3D(int(shape[0]), int(shape[1]), int(shape[2]))

@@ -1,0 +1,238 @@
+"""Shared hardware resources with FIFO queuing.
+
+Two resource flavours cover everything the platform model needs:
+
+* :class:`BandwidthResource` — a pipe with a fixed bandwidth (GB/s).  Requests
+  of N bytes serialize through the pipe in FIFO order; the resource returns
+  the start/finish times and records busy intervals so utilization can be
+  reported afterwards.  Links, memory channels, DMA engines, buses and the
+  ACE ALU are all instances of this class.
+
+* :class:`SlotResource` — a counted resource (e.g. the number of programmable
+  FSMs inside ACE, or the number of SMs carved out for communication).
+  Acquisition is immediate if a slot is free, otherwise the acquisition time
+  is deferred to the earliest release.
+
+Both resources can operate in two modes:
+
+* *timeline mode* (default) — the caller asks "if I start a transfer of N
+  bytes no earlier than time t, when does it start and finish?".  This is an
+  analytic reservation model: no simulator events are generated, which keeps
+  large sweeps fast, yet FIFO contention and queuing delays are preserved.
+* *event mode* — convenience helpers that schedule a completion callback on a
+  :class:`~repro.sim.engine.Simulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ResourceError
+from repro.sim.engine import Simulator
+from repro.sim.trace import IntervalTracer
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """Outcome of a bandwidth reservation."""
+
+    start: float
+    finish: float
+    num_bytes: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+    @property
+    def queuing_delay(self) -> float:
+        """How long the request waited behind earlier requests."""
+        return 0.0 if self.requested is None else max(0.0, self.start - self.requested)
+
+    # ``requested`` is attached post-hoc via object.__setattr__ in reserve();
+    # default None keeps the dataclass frozen-friendly.
+    requested: Optional[float] = None
+
+
+class BandwidthResource:
+    """A FIFO-serialised pipe with fixed bandwidth.
+
+    Parameters
+    ----------
+    name:
+        Label used in traces and error messages.
+    bandwidth_gbps:
+        Bandwidth in GB/s (== bytes per nanosecond).
+    latency_ns:
+        Fixed latency added to every transfer (paid once per request, after
+        serialization; models link/bus latency).
+    trace:
+        Optional :class:`IntervalTracer` that records busy intervals.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bandwidth_gbps: float,
+        latency_ns: float = 0.0,
+        trace: Optional[IntervalTracer] = None,
+    ) -> None:
+        if bandwidth_gbps <= 0:
+            raise ResourceError(f"{name}: bandwidth must be positive, got {bandwidth_gbps}")
+        if latency_ns < 0:
+            raise ResourceError(f"{name}: latency must be non-negative, got {latency_ns}")
+        self.name = name
+        self.bandwidth_gbps = bandwidth_gbps
+        self.latency_ns = latency_ns
+        self.trace = trace
+        self._next_free: float = 0.0
+        self._busy_time: float = 0.0
+        self._bytes_moved: float = 0.0
+        self._requests: int = 0
+
+    # ------------------------------------------------------------------
+    # Timeline mode
+    # ------------------------------------------------------------------
+    def reserve(self, num_bytes: float, earliest_start: float) -> Reservation:
+        """Reserve the pipe for ``num_bytes`` starting no earlier than ``earliest_start``.
+
+        Returns the FIFO-consistent start and finish times and advances the
+        internal "next free" pointer.
+        """
+        if num_bytes < 0:
+            raise ResourceError(f"{self.name}: cannot transfer negative bytes ({num_bytes})")
+        start = max(earliest_start, self._next_free)
+        serialization = num_bytes / self.bandwidth_gbps
+        finish = start + serialization + self.latency_ns
+        self._next_free = start + serialization
+        self._busy_time += serialization
+        self._bytes_moved += num_bytes
+        self._requests += 1
+        if self.trace is not None and serialization > 0:
+            self.trace.record(start, start + serialization)
+        reservation = Reservation(start=start, finish=finish, num_bytes=num_bytes)
+        object.__setattr__(reservation, "requested", earliest_start)
+        return reservation
+
+    def peek_start(self, earliest_start: float) -> float:
+        """When would a request issued at ``earliest_start`` actually start?"""
+        return max(earliest_start, self._next_free)
+
+    # ------------------------------------------------------------------
+    # Event mode
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        sim: Simulator,
+        num_bytes: float,
+        on_complete: Callable[[Reservation], None],
+    ) -> Reservation:
+        """Reserve starting from ``sim.now`` and schedule ``on_complete`` at the finish time."""
+        reservation = self.reserve(num_bytes, sim.now)
+        sim.schedule_at(reservation.finish, on_complete, reservation)
+        return reservation
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def next_free(self) -> float:
+        return self._next_free
+
+    @property
+    def busy_time(self) -> float:
+        """Total serialization time accumulated on this resource."""
+        return self._busy_time
+
+    @property
+    def bytes_moved(self) -> float:
+        return self._bytes_moved
+
+    @property
+    def requests(self) -> int:
+        return self._requests
+
+    def utilization(self, horizon_ns: float) -> float:
+        """Fraction of ``horizon_ns`` this resource spent busy."""
+        if horizon_ns <= 0:
+            return 0.0
+        return min(1.0, self._busy_time / horizon_ns)
+
+    def achieved_bandwidth_gbps(self, horizon_ns: float) -> float:
+        """Average bandwidth achieved over ``horizon_ns`` (GB/s)."""
+        if horizon_ns <= 0:
+            return 0.0
+        return self._bytes_moved / horizon_ns
+
+    def reset(self) -> None:
+        self._next_free = 0.0
+        self._busy_time = 0.0
+        self._bytes_moved = 0.0
+        self._requests = 0
+        if self.trace is not None:
+            self.trace.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"BandwidthResource({self.name!r}, {self.bandwidth_gbps} GB/s, "
+            f"busy={self._busy_time:.1f} ns)"
+        )
+
+
+class SlotResource:
+    """A counted resource (FSMs, SM groups, DMA channels, ...).
+
+    In timeline mode the resource tracks the release time of each slot and
+    hands the earliest-available slot to the caller.
+    """
+
+    def __init__(self, name: str, num_slots: int) -> None:
+        if num_slots <= 0:
+            raise ResourceError(f"{name}: need at least one slot, got {num_slots}")
+        self.name = name
+        self.num_slots = num_slots
+        self._release_times: List[float] = [0.0] * num_slots
+        self._acquisitions: int = 0
+        self._busy_time: float = 0.0
+
+    def acquire(self, earliest_start: float, duration: float) -> Tuple[int, float, float]:
+        """Grab the earliest-free slot for ``duration`` ns.
+
+        Returns ``(slot_index, start, finish)``.
+        """
+        if duration < 0:
+            raise ResourceError(f"{self.name}: duration must be non-negative, got {duration}")
+        slot = min(range(self.num_slots), key=lambda i: self._release_times[i])
+        start = max(earliest_start, self._release_times[slot])
+        finish = start + duration
+        self._release_times[slot] = finish
+        self._acquisitions += 1
+        self._busy_time += duration
+        return slot, start, finish
+
+    def earliest_available(self, earliest_start: float) -> float:
+        """When could a new acquisition start if requested at ``earliest_start``?"""
+        return max(earliest_start, min(self._release_times))
+
+    @property
+    def acquisitions(self) -> int:
+        return self._acquisitions
+
+    @property
+    def busy_time(self) -> float:
+        return self._busy_time
+
+    def utilization(self, horizon_ns: float) -> float:
+        """Average fraction of slots busy over ``horizon_ns``."""
+        if horizon_ns <= 0:
+            return 0.0
+        return min(1.0, self._busy_time / (horizon_ns * self.num_slots))
+
+    def reset(self) -> None:
+        self._release_times = [0.0] * self.num_slots
+        self._acquisitions = 0
+        self._busy_time = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SlotResource({self.name!r}, slots={self.num_slots})"

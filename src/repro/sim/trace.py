@@ -1,0 +1,132 @@
+"""Busy-interval recording and utilization timelines.
+
+The paper's Fig. 10 plots the percentage of compute / network resources in use
+over the course of two training iterations, averaged over 1K-cycle windows.
+:class:`IntervalTracer` records raw busy intervals as the simulation runs and
+:class:`UtilizationTrace` bins them into fixed windows for reporting.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open busy interval ``[start, end)``."""
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class IntervalTracer:
+    """Records busy intervals on a single resource."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._intervals: List[Tuple[float, float]] = []
+
+    def record(self, start: float, end: float) -> None:
+        """Record a busy interval; zero-length intervals are ignored."""
+        if end <= start:
+            return
+        self._intervals.append((start, end))
+
+    @property
+    def intervals(self) -> List[Interval]:
+        return [Interval(s, e) for s, e in sorted(self._intervals)]
+
+    def busy_time(self, start: float = 0.0, end: float = float("inf")) -> float:
+        """Total busy time overlapping ``[start, end)``, merging overlaps."""
+        clipped = []
+        for s, e in self._intervals:
+            s2, e2 = max(s, start), min(e, end)
+            if e2 > s2:
+                clipped.append((s2, e2))
+        return _merged_length(clipped)
+
+    def total_span(self) -> float:
+        """Time between the first busy start and the last busy end."""
+        if not self._intervals:
+            return 0.0
+        starts = min(s for s, _ in self._intervals)
+        ends = max(e for _, e in self._intervals)
+        return ends - starts
+
+    def reset(self) -> None:
+        self._intervals.clear()
+
+
+def _merged_length(intervals: Sequence[Tuple[float, float]]) -> float:
+    """Length of the union of a set of intervals."""
+    if not intervals:
+        return 0.0
+    ordered = sorted(intervals)
+    total = 0.0
+    cur_start, cur_end = ordered[0]
+    for s, e in ordered[1:]:
+        if s > cur_end:
+            total += cur_end - cur_start
+            cur_start, cur_end = s, e
+        else:
+            cur_end = max(cur_end, e)
+    total += cur_end - cur_start
+    return total
+
+
+class UtilizationTrace:
+    """Bins busy intervals from one or more tracers into fixed windows.
+
+    This is the data behind the Fig. 10 timelines: each window reports the
+    average fraction of the traced resources that were busy during it.
+    """
+
+    def __init__(self, window_ns: float) -> None:
+        if window_ns <= 0:
+            raise ValueError(f"window must be positive, got {window_ns}")
+        self.window_ns = window_ns
+
+    def utilization_series(
+        self,
+        tracers: Iterable[IntervalTracer],
+        horizon_ns: float,
+    ) -> List[Tuple[float, float]]:
+        """Return ``(window_center_time, utilization)`` pairs covering ``[0, horizon_ns)``.
+
+        The utilization of a window is the busy time of all tracers inside the
+        window divided by (number of tracers x window length), i.e. "% of the
+        links/engines occupied", matching the paper's definition.
+        """
+        tracer_list = list(tracers)
+        if horizon_ns <= 0 or not tracer_list:
+            return []
+        num_windows = int(horizon_ns // self.window_ns) + (
+            1 if horizon_ns % self.window_ns else 0
+        )
+        series: List[Tuple[float, float]] = []
+        for w in range(num_windows):
+            w_start = w * self.window_ns
+            w_end = min(horizon_ns, w_start + self.window_ns)
+            width = w_end - w_start
+            if width <= 0:
+                continue
+            busy = sum(t.busy_time(w_start, w_end) for t in tracer_list)
+            util = busy / (width * len(tracer_list))
+            series.append((w_start + width / 2.0, min(1.0, util)))
+        return series
+
+    def average_utilization(
+        self, tracers: Iterable[IntervalTracer], horizon_ns: float
+    ) -> float:
+        """Average utilization over the whole horizon."""
+        tracer_list = list(tracers)
+        if horizon_ns <= 0 or not tracer_list:
+            return 0.0
+        busy = sum(t.busy_time(0.0, horizon_ns) for t in tracer_list)
+        return min(1.0, busy / (horizon_ns * len(tracer_list)))

@@ -1,0 +1,291 @@
+"""Collective executor: runs collective operations over the fabric and endpoint.
+
+The executor is the simulator's equivalent of the communication runtime
+(oneCCL / NCCL in the baselines, the ACE control program with ACE): it accepts
+collective operations from the training loop, splits them into chunks
+(Table III), admits chunks into the endpoint pipeline subject to the
+endpoint's capacity, and walks each chunk through the phases of its
+topology-aware plan, reserving endpoint processing and link bandwidth as it
+goes.
+
+Scheduling follows the paper: pending collectives are served LIFO by default
+(the collectives of the first layers, issued last during back-propagation,
+have the highest priority because the next forward pass needs them first);
+FIFO is available for comparison.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Union
+
+from repro.collectives.base import CollectiveOp, CollectivePlan
+from repro.collectives.planner import plan_collective
+from repro.config.system import SystemConfig
+from repro.endpoint.base import Endpoint, PhaseWork
+from repro.endpoint.factory import make_endpoint
+from repro.errors import SchedulingError
+from repro.network.messages import split_payload
+from repro.network.symmetric import SymmetricFabric
+from repro.network.topology import Torus3D
+from repro.sim.engine import Simulator
+from repro.sim.process import Signal
+
+_collective_ids = itertools.count()
+
+
+@dataclass
+class CollectiveHandle:
+    """Tracking object for one issued collective operation."""
+
+    id: int
+    name: str
+    op: CollectiveOp
+    payload_bytes: int
+    issued_at: float
+    done: Signal
+    num_chunks: int
+    chunks_completed: int = 0
+    completed_at: Optional[float] = None
+    plan: Optional[CollectivePlan] = None
+    #: Set once the collective's launch overhead has been charged (on the
+    #: admission of its first chunk).
+    launched: bool = False
+
+    @property
+    def finished(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def duration_ns(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.issued_at
+
+
+@dataclass
+class _PendingCollective:
+    handle: CollectiveHandle
+    chunk_sizes: Deque[int] = field(default_factory=deque)
+
+    @property
+    def exhausted(self) -> bool:
+        return not self.chunk_sizes
+
+
+class CollectiveExecutor:
+    """Chunk-level collective execution over a symmetric fabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        system: SystemConfig,
+        topology: Torus3D,
+        endpoint: Optional[Endpoint] = None,
+        fabric: Optional[SymmetricFabric] = None,
+        chunk_bytes: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.system = system
+        self.topology = topology
+        self.endpoint = endpoint or make_endpoint(system)
+        self.fabric = fabric or SymmetricFabric(topology, system.network)
+        self.chunk_bytes = chunk_bytes or system.ace.chunk_bytes
+        if self.chunk_bytes <= 0:
+            raise SchedulingError("chunk_bytes must be positive")
+        self.scheduling = system.collective_scheduling
+        # Configure the endpoint for the dominant (all-reduce) plan up front;
+        # ACE programs its FSMs for these phases plus all-to-all.
+        self._plans: Dict[CollectiveOp, CollectivePlan] = {}
+        if topology.num_nodes > 1:
+            self.endpoint.configure(self._plan(CollectiveOp.ALL_REDUCE))
+        self._pending: List[_PendingCollective] = []
+        self._inflight_chunks = 0
+        self._handles: List[CollectiveHandle] = []
+
+    # ------------------------------------------------------------------
+    # Plans
+    # ------------------------------------------------------------------
+    def _plan(self, op: CollectiveOp) -> CollectivePlan:
+        if op not in self._plans:
+            self._plans[op] = plan_collective(op, self.topology)
+        return self._plans[op]
+
+    # ------------------------------------------------------------------
+    # Issue
+    # ------------------------------------------------------------------
+    def issue(
+        self,
+        op: Union[str, CollectiveOp],
+        payload_bytes: int,
+        name: str = "",
+    ) -> CollectiveHandle:
+        """Issue a collective at the current simulation time."""
+        op = CollectiveOp(op)
+        if payload_bytes <= 0:
+            raise SchedulingError(f"collective payload must be positive, got {payload_bytes}")
+        handle_id = next(_collective_ids)
+        label = name or f"{op.value}-{handle_id}"
+        plan = self._plan(op)
+        if self.topology.num_nodes <= 1 or not plan.phases:
+            # Single-node "collective": nothing to communicate.
+            handle = CollectiveHandle(
+                id=handle_id,
+                name=label,
+                op=op,
+                payload_bytes=payload_bytes,
+                issued_at=self.sim.now,
+                done=Signal(f"{label}.done"),
+                num_chunks=0,
+                completed_at=self.sim.now,
+                plan=plan,
+            )
+            handle.done.fire(self.sim, handle)
+            self._handles.append(handle)
+            return handle
+        chunk_sizes = split_payload(payload_bytes, self.chunk_bytes)
+        handle = CollectiveHandle(
+            id=handle_id,
+            name=label,
+            op=op,
+            payload_bytes=payload_bytes,
+            issued_at=self.sim.now,
+            done=Signal(f"{label}.done"),
+            num_chunks=len(chunk_sizes),
+            plan=plan,
+        )
+        self._handles.append(handle)
+        self._pending.append(_PendingCollective(handle, deque(chunk_sizes)))
+        self._try_admit()
+        return handle
+
+    # ------------------------------------------------------------------
+    # Admission and chunk execution
+    # ------------------------------------------------------------------
+    def _select_pending(self) -> Optional[_PendingCollective]:
+        """Pick the next collective to serve according to the scheduling policy."""
+        candidates = [p for p in self._pending if not p.exhausted]
+        if not candidates:
+            return None
+        if self.scheduling == "lifo":
+            return candidates[-1]
+        return candidates[0]
+
+    def _try_admit(self) -> None:
+        capacity = self.endpoint.chunk_capacity()
+        while self._inflight_chunks < capacity:
+            pending = self._select_pending()
+            if pending is None:
+                break
+            chunk_size = pending.chunk_sizes.popleft()
+            if pending.exhausted:
+                self._pending.remove(pending)
+            self._admit_chunk(pending.handle, chunk_size)
+
+    def _admit_chunk(self, handle: CollectiveHandle, chunk_size: int) -> None:
+        """Admit one chunk: it will walk its plan stages as an event chain.
+
+        Every resource reservation is made at the simulation time the stage
+        actually starts (not at admission time), so FIFO resources are always
+        requested in chronological order and idle gaps are never skipped over.
+        """
+        self._inflight_chunks += 1
+        start = self.sim.now
+        if not handle.launched:
+            # Per-collective launch cost: communication-kernel launch and
+            # scheduling for the baselines, the NPU-AFI command interface for
+            # ACE, nothing for the ideal system.
+            start += self.system.collective_launch_overhead_ns
+            handle.launched = True
+        admitted_at = self.sim.now
+        self.sim.schedule_at(start, self._start_chunk, handle, chunk_size, admitted_at)
+
+    def _start_chunk(self, handle: CollectiveHandle, chunk_size: int, admitted_at: float) -> None:
+        staged = self.endpoint.ingress(chunk_size, self.sim.now)
+        self.sim.schedule_at(
+            staged, self._start_stage, handle, chunk_size, 0, admitted_at
+        )
+
+    def _start_stage(
+        self,
+        handle: CollectiveHandle,
+        chunk_size: int,
+        stage_index: int,
+        admitted_at: float,
+    ) -> None:
+        """Run one stage of the chunk's plan; chain the next stage at its finish."""
+        plan = handle.plan
+        assert plan is not None
+        stages = plan.stages()
+        if stage_index >= len(stages):
+            done_at = self.endpoint.egress(chunk_size, self.sim.now)
+            self.endpoint.activity.record(admitted_at, done_at)
+            self.sim.schedule_at(done_at, self._chunk_done, handle)
+            return
+        now = self.sim.now
+        stage = stages[stage_index]
+        phase_offset = sum(len(s) for s in stages[:stage_index])
+        stage_finish = now
+        for within_stage, phase in enumerate(stage):
+            work = PhaseWork.from_phase(
+                phase,
+                phase_index=phase_offset + within_stage,
+                chunk_bytes=chunk_size,
+                is_first=stage_index == 0,
+                is_last=stage_index == len(stages) - 1,
+            )
+            ready = self.endpoint.process_phase(work, now)
+            finish = ready
+            if work.send_bytes > 0 and self.fabric.has_dimension(phase.dimension):
+                pipe = self.fabric.pipe(phase.dimension)
+                link = pipe.reserve(work.send_bytes, now)
+                extra_latency = max(0, phase.steps - 1) * pipe.latency_ns
+                finish = max(ready, link.finish + extra_latency)
+            stage_finish = max(stage_finish, finish)
+        self.sim.schedule_at(
+            stage_finish, self._start_stage, handle, chunk_size, stage_index + 1, admitted_at
+        )
+
+    def _chunk_done(self, handle: CollectiveHandle) -> None:
+        self._inflight_chunks -= 1
+        handle.chunks_completed += 1
+        if handle.chunks_completed >= handle.num_chunks and not handle.finished:
+            handle.completed_at = self.sim.now
+            handle.done.fire(self.sim, handle)
+        self._try_admit()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def handles(self) -> List[CollectiveHandle]:
+        return list(self._handles)
+
+    @property
+    def outstanding(self) -> int:
+        """Number of issued collectives that have not completed."""
+        return sum(1 for h in self._handles if not h.finished)
+
+    @property
+    def inflight_chunks(self) -> int:
+        return self._inflight_chunks
+
+    def all_done_signal(self) -> Signal:
+        """A signal that fires once every currently-issued collective completes."""
+        from repro.sim.process import all_of
+
+        signals = [h.done for h in self._handles if not h.finished]
+        return all_of(self.sim, signals, name="all-collectives-done")
+
+    def total_bytes_injected(self) -> float:
+        return self.fabric.bytes_injected
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "collectives_issued": float(len(self._handles)),
+            "bytes_injected": self.fabric.bytes_injected,
+            "endpoint_memory_read_bytes": self.endpoint.memory_read_bytes,
+            "endpoint_memory_write_bytes": self.endpoint.memory_write_bytes,
+        }

@@ -1,0 +1,290 @@
+"""The training-loop simulator.
+
+Recreates the paper's training loop (Section V):
+
+* forward pass, layer by layer; before computing layer ``i`` the loop must
+  wait for layer ``i``'s weight-gradient all-reduce from the previous
+  iteration (data parallelism), and — for DLRM — for the embedding all-to-all
+  before the first top-MLP layer,
+* backward pass in reverse layer order; when a layer's weight-gradient kernel
+  finishes its all-reduce is issued (non-blocking) to the collective executor,
+* the BaselineNoOverlap configuration instead batches every weight-gradient
+  payload into one blocking all-reduce at the end of back-propagation,
+* collectives are scheduled LIFO so the collectives of the first layers —
+  issued last — are served first (Section V),
+* exposed communication is the time the compute engine sits idle waiting for
+  a collective; total compute plus exposed communication is the iteration
+  time (Section V, "Metric of Evaluation").
+
+The DLRM-specific optimisation of Fig. 12 (overlapping the embedding
+lookup/update of the next/previous iteration with the current iteration's
+compute, and pre-issuing the forward all-to-all) is enabled with
+``overlap_embedding=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Union
+
+from repro.collectives.base import CollectiveOp
+from repro.compute.npu import NpuComputeEngine
+from repro.config.presets import torus_shape_for_npus
+from repro.config.system import EndpointKind, SystemConfig
+from repro.errors import SimulationError
+from repro.network.topology import Torus3D, torus_from_shape
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.training.comm import CollectiveExecutor, CollectiveHandle
+from repro.training.results import IterationBreakdown, TrainingResult
+from repro.workloads.base import Workload
+
+
+class TrainingLoop:
+    """Event-driven co-simulation of compute and communication for one platform."""
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        topology: Union[Torus3D, int, tuple],
+        workload: Workload,
+        iterations: int = 2,
+        chunk_bytes: Optional[int] = None,
+        overlap_embedding: bool = False,
+        utilization_window_ns: float = 50_000.0,
+    ) -> None:
+        if iterations <= 0:
+            raise SimulationError("iterations must be positive")
+        self.system = system
+        self.topology = _resolve_topology(topology)
+        self.workload = workload
+        self.iterations = iterations
+        self.overlap_embedding = overlap_embedding
+        self.utilization_window_ns = utilization_window_ns
+
+        self.sim = Simulator()
+        self.compute = NpuComputeEngine(system, time_scale=workload.compute_time_scale)
+        self.executor = CollectiveExecutor(
+            self.sim, system, self.topology, chunk_bytes=chunk_bytes
+        )
+
+        self._exposed_comm_ns = 0.0
+        self._breakdowns: List[IterationBreakdown] = []
+        self._pending_fwd_alltoall: Optional[CollectiveHandle] = None
+        self._finished_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> TrainingResult:
+        """Simulate the configured number of iterations and return the result."""
+        process = Process(self.sim, self._program(), name="training-loop")
+        process.done.on_fire(self.sim, self._on_finished)
+        self.sim.run()
+        if self._finished_at is None:
+            raise SimulationError(
+                "training loop deadlocked: the program did not finish "
+                f"(pending events: {self.sim.pending_events})"
+            )
+        return self._build_result()
+
+    # ------------------------------------------------------------------
+    # Program
+    # ------------------------------------------------------------------
+    def _program(self) -> Generator:
+        workload = self.workload
+        no_overlap = self.system.endpoint is EndpointKind.BASELINE_NO_OVERLAP
+        weight_handles: Dict[int, CollectiveHandle] = {}
+
+        for iteration in range(self.iterations):
+            breakdown = IterationBreakdown(index=iteration, forward_start_ns=self.sim.now)
+            compute_at_start = self.compute.total_compute_ns
+            exposed_at_start = self._exposed_comm_ns
+            self._breakdowns.append(breakdown)
+
+            # ---------------- forward pass ----------------
+            fwd_alltoall = None
+            embedding = workload.embedding
+            if embedding is not None:
+                if self._pending_fwd_alltoall is not None:
+                    # Issued early by the optimised loop during the previous
+                    # backward pass (Fig. 12).
+                    fwd_alltoall = self._pending_fwd_alltoall
+                    self._pending_fwd_alltoall = None
+                else:
+                    if not self.overlap_embedding:
+                        yield from self._run_compute(embedding.lookup)
+                    fwd_alltoall = self.executor.issue(
+                        CollectiveOp.ALL_TO_ALL,
+                        embedding.alltoall_forward_bytes,
+                        name=f"iter{iteration}.emb-fwd-a2a",
+                    )
+
+            for index, layer in enumerate(workload.layers):
+                handle = weight_handles.get(index)
+                if handle is not None:
+                    yield from self._wait_comm(handle)
+                if (
+                    embedding is not None
+                    and fwd_alltoall is not None
+                    and index == embedding.alltoall_before_layer
+                ):
+                    yield from self._wait_comm(fwd_alltoall)
+                yield from self._run_compute(layer.forward)
+                if layer.forward_allreduce_bytes > 0:
+                    blocking = self.executor.issue(
+                        CollectiveOp.ALL_REDUCE,
+                        layer.forward_allreduce_bytes,
+                        name=f"iter{iteration}.{layer.name}.fwd-ar",
+                    )
+                    yield from self._wait_comm(blocking)
+
+            # ---------------- backward pass ----------------
+            breakdown.backward_start_ns = self.sim.now
+            weight_handles = {}
+            batched_payload = 0
+            for index in reversed(range(len(workload.layers))):
+                layer = workload.layers[index]
+                yield from self._run_compute(layer.input_grad)
+                yield from self._run_compute(layer.weight_grad)
+                if layer.backward_allreduce_bytes > 0:
+                    blocking = self.executor.issue(
+                        CollectiveOp.ALL_REDUCE,
+                        layer.backward_allreduce_bytes,
+                        name=f"iter{iteration}.{layer.name}.bwd-ar",
+                    )
+                    yield from self._wait_comm(blocking)
+                if layer.params_bytes > 0:
+                    if no_overlap:
+                        batched_payload += layer.params_bytes
+                    else:
+                        weight_handles[index] = self.executor.issue(
+                            layer.comm_op,
+                            layer.params_bytes,
+                            name=f"iter{iteration}.{layer.name}.wgrad-ar",
+                        )
+
+            if embedding is not None:
+                bwd_alltoall = self.executor.issue(
+                    CollectiveOp.ALL_TO_ALL,
+                    embedding.alltoall_backward_bytes,
+                    name=f"iter{iteration}.emb-bwd-a2a",
+                )
+                yield from self._wait_comm(bwd_alltoall)
+                if not self.overlap_embedding:
+                    yield from self._run_compute(embedding.update)
+                elif iteration + 1 < self.iterations:
+                    # The next iteration's lookup runs off the critical path
+                    # on its dedicated SM / memory slice, so its all-to-all
+                    # can be issued immediately (Fig. 12 optimised loop).
+                    self._pending_fwd_alltoall = self.executor.issue(
+                        CollectiveOp.ALL_TO_ALL,
+                        embedding.alltoall_forward_bytes,
+                        name=f"iter{iteration + 1}.emb-fwd-a2a(pre)",
+                    )
+
+            if no_overlap and batched_payload > 0:
+                batched = self.executor.issue(
+                    CollectiveOp.ALL_REDUCE,
+                    batched_payload,
+                    name=f"iter{iteration}.batched-wgrad-ar",
+                )
+                yield from self._wait_comm(batched)
+
+            breakdown.end_ns = self.sim.now
+            breakdown.compute_ns = self.compute.total_compute_ns - compute_at_start
+            breakdown.exposed_comm_ns = self._exposed_comm_ns - exposed_at_start
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _run_compute(self, cost) -> Generator:
+        if cost.flops <= 0 and cost.bytes_total <= 0:
+            return
+        _, finish = self.compute.execute(cost, self.sim.now)
+        delay = finish - self.sim.now
+        if delay > 0:
+            yield delay
+
+    def _wait_comm(self, handle: CollectiveHandle) -> Generator:
+        if handle.done.fired:
+            return
+        waited_from = self.sim.now
+        yield handle.done
+        self._exposed_comm_ns += self.sim.now - waited_from
+
+    def _on_finished(self, _signal) -> None:
+        self._finished_at = self.sim.now
+
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+    def _build_result(self) -> TrainingResult:
+        assert self._finished_at is not None
+        total_time = self._finished_at
+        makespan = max(total_time, self.executor.fabric.last_activity())
+        endpoint = self.executor.endpoint
+
+        fwd_busy = fwd_span = bwd_busy = bwd_span = 0.0
+        for breakdown in self._breakdowns:
+            f_start, f_end = breakdown.forward_window
+            b_start, b_end = breakdown.backward_window
+            fwd_busy += endpoint.activity.busy_time(f_start, f_end)
+            fwd_span += max(0.0, f_end - f_start)
+            bwd_busy += endpoint.activity.busy_time(b_start, b_end)
+            bwd_span += max(0.0, b_end - b_start)
+
+        horizon = max(makespan, 1.0)
+        result = TrainingResult(
+            system_name=self.system.name,
+            workload_name=self.workload.name,
+            num_npus=self.topology.num_nodes,
+            iterations=self.iterations,
+            total_time_ns=total_time,
+            total_compute_ns=self.compute.total_compute_ns,
+            exposed_comm_ns=self._exposed_comm_ns,
+            bytes_injected=self.executor.fabric.bytes_injected,
+            makespan_ns=makespan,
+            iteration_breakdowns=list(self._breakdowns),
+            endpoint_memory_read_bytes=endpoint.memory_read_bytes,
+            endpoint_memory_write_bytes=endpoint.memory_write_bytes,
+            endpoint_utilization_forward=(fwd_busy / fwd_span) if fwd_span > 0 else 0.0,
+            endpoint_utilization_backward=(bwd_busy / bwd_span) if bwd_span > 0 else 0.0,
+            network_utilization=self.executor.fabric.utilization(horizon),
+            collectives_issued=len(self.executor.handles),
+            compute_utilization_series=self.compute.utilization_series(
+                horizon, self.utilization_window_ns
+            ),
+            network_utilization_series=self.executor.fabric.utilization_series(
+                horizon, self.utilization_window_ns
+            ),
+        )
+        return result
+
+
+def _resolve_topology(topology: Union[Torus3D, int, tuple]) -> Torus3D:
+    """Accept a Torus3D, an NPU count, or an (L, V, H) shape."""
+    if isinstance(topology, Torus3D):
+        return topology
+    if isinstance(topology, int):
+        return torus_from_shape(torus_shape_for_npus(topology))
+    return torus_from_shape(tuple(topology))
+
+
+def simulate_training(
+    system: SystemConfig,
+    workload: Workload,
+    num_npus: Union[int, tuple, Torus3D] = 64,
+    iterations: int = 2,
+    chunk_bytes: Optional[int] = None,
+    overlap_embedding: bool = False,
+) -> TrainingResult:
+    """Convenience wrapper: build a loop, run it, return the result."""
+    loop = TrainingLoop(
+        system=system,
+        topology=num_npus,
+        workload=workload,
+        iterations=iterations,
+        chunk_bytes=chunk_bytes,
+        overlap_embedding=overlap_embedding,
+    )
+    return loop.run()

@@ -1,0 +1,79 @@
+"""Parallelisation strategy → per-layer collective requirements.
+
+The paper uses data parallelism for ResNet-50 and GNMT (weight-gradient
+all-reduce per layer) and hybrid parallelism for DLRM (data parallel across
+the MLP layers, model parallel across the embedding tables, exchanged with
+all-to-alls).  Megatron-LM style tensor parallelism adds blocking activation
+all-reduces around every layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.collectives.base import CollectiveOp
+from repro.errors import WorkloadError
+from repro.workloads.base import Layer, Workload
+
+
+@dataclass(frozen=True)
+class CollectiveRequest:
+    """One collective the training loop must issue for a layer."""
+
+    op: CollectiveOp
+    payload_bytes: int
+    #: "backward" collectives are issued after the layer's weight-gradient
+    #: compute and only block the *next* iteration's forward pass;
+    #: "forward_blocking" / "backward_blocking" collectives stall the loop
+    #: immediately (tensor-parallel activation synchronisation).
+    when: str
+    layer_name: str
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0:
+            raise WorkloadError("collective payload must be positive")
+        if self.when not in ("backward", "forward_blocking", "backward_blocking"):
+            raise WorkloadError(f"unknown collective timing {self.when!r}")
+
+
+def collectives_for_layer(layer: Layer, parallelism: str) -> List[CollectiveRequest]:
+    """Collectives required for ``layer`` under the given parallelism."""
+    requests: List[CollectiveRequest] = []
+    if parallelism in ("data", "hybrid") and layer.params_bytes > 0:
+        requests.append(
+            CollectiveRequest(
+                op=layer.comm_op,
+                payload_bytes=layer.params_bytes,
+                when="backward",
+                layer_name=layer.name,
+            )
+        )
+    if layer.forward_allreduce_bytes > 0:
+        requests.append(
+            CollectiveRequest(
+                op=CollectiveOp.ALL_REDUCE,
+                payload_bytes=layer.forward_allreduce_bytes,
+                when="forward_blocking",
+                layer_name=layer.name,
+            )
+        )
+    if layer.backward_allreduce_bytes > 0:
+        requests.append(
+            CollectiveRequest(
+                op=CollectiveOp.ALL_REDUCE,
+                payload_bytes=layer.backward_allreduce_bytes,
+                when="backward_blocking",
+                layer_name=layer.name,
+            )
+        )
+    return requests
+
+
+def total_backward_payload(workload: Workload) -> int:
+    """Total weight-gradient bytes all-reduced per iteration (data parallel part)."""
+    return sum(
+        layer.params_bytes
+        for layer in workload.layers
+        if layer.params_bytes > 0
+    )

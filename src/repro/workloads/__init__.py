@@ -1,0 +1,29 @@
+"""Workload models.
+
+Layer-by-layer descriptions of the three DNNs the paper evaluates (ResNet-50,
+GNMT, DLRM), the Megatron-LM model used in the motivation section, and the
+microbenchmarks of Fig. 4.  Each layer carries the kernel costs of its
+forward, input-gradient and weight-gradient computations plus the
+communication payloads the chosen parallelisation strategy requires.
+"""
+
+from repro.workloads.base import EmbeddingStage, Layer, Workload
+from repro.workloads.resnet50 import build_resnet50
+from repro.workloads.gnmt import build_gnmt
+from repro.workloads.dlrm import build_dlrm
+from repro.workloads.megatron import build_megatron
+from repro.workloads.registry import available_workloads, build_workload
+from repro.workloads import microbench
+
+__all__ = [
+    "EmbeddingStage",
+    "Layer",
+    "Workload",
+    "build_resnet50",
+    "build_gnmt",
+    "build_dlrm",
+    "build_megatron",
+    "available_workloads",
+    "build_workload",
+    "microbench",
+]

@@ -1,0 +1,165 @@
+"""Workload and layer datatypes.
+
+A :class:`Workload` is a sequence of :class:`Layer` objects plus (optionally)
+an :class:`EmbeddingStage` for DLRM-style hybrid parallelism.  The training
+loop consumes these directly; the communication payloads are already expressed
+in bytes (FP16 gradients / activations, Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.collectives.base import CollectiveOp
+from repro.compute.kernels import FP16_BYTES, KernelCost
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One trainable layer of a DNN.
+
+    Attributes
+    ----------
+    forward / input_grad / weight_grad:
+        Kernel costs of the three per-layer computations in a training
+        iteration.  Layers without trainable parameters (pooling, activation)
+        may use zero-cost kernels for ``weight_grad``.
+    params_bytes:
+        Size of this layer's weight gradients in bytes.  Under data
+        parallelism an all-reduce of this size is issued when the layer's
+        weight-gradient computation finishes and must complete before the
+        layer's forward pass of the next iteration.
+    forward_allreduce_bytes / backward_allreduce_bytes:
+        Blocking activation all-reduces required by tensor/model parallelism
+        (Megatron-LM style); issued and waited for right after the layer's
+        forward / backward compute.
+    """
+
+    name: str
+    forward: KernelCost
+    input_grad: KernelCost
+    weight_grad: KernelCost
+    params_bytes: int = 0
+    forward_allreduce_bytes: int = 0
+    backward_allreduce_bytes: int = 0
+    comm_op: CollectiveOp = CollectiveOp.ALL_REDUCE
+
+    def __post_init__(self) -> None:
+        if self.params_bytes < 0:
+            raise WorkloadError(f"layer {self.name!r} has negative params_bytes")
+        if self.forward_allreduce_bytes < 0 or self.backward_allreduce_bytes < 0:
+            raise WorkloadError(f"layer {self.name!r} has negative activation comm bytes")
+
+    @property
+    def total_flops(self) -> float:
+        return self.forward.flops + self.input_grad.flops + self.weight_grad.flops
+
+    @property
+    def has_weight_comm(self) -> bool:
+        return self.params_bytes > 0
+
+
+@dataclass(frozen=True)
+class EmbeddingStage:
+    """DLRM-style model-parallel embedding stage.
+
+    The embedding tables are partitioned across NPUs (model parallel); the
+    lookup results are exchanged with an all-to-all before the top MLP in the
+    forward pass and the gradients are exchanged with an all-to-all after
+    back-propagation (Section II / Section V).
+    """
+
+    lookup: KernelCost
+    update: KernelCost
+    alltoall_forward_bytes: int
+    alltoall_backward_bytes: int
+    #: Index of the first layer that needs the exchanged embeddings (the first
+    #: top-MLP layer); the forward pass blocks on the all-to-all before it.
+    alltoall_before_layer: int
+
+    def __post_init__(self) -> None:
+        if self.alltoall_forward_bytes <= 0 or self.alltoall_backward_bytes <= 0:
+            raise WorkloadError("embedding all-to-all payloads must be positive")
+        if self.alltoall_before_layer < 0:
+            raise WorkloadError("alltoall_before_layer must be non-negative")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A complete training workload for one NPU (weak scaling)."""
+
+    name: str
+    layers: Tuple[Layer, ...]
+    batch_size_per_npu: int
+    parallelism: str = "data"
+    embedding: Optional[EmbeddingStage] = None
+    description: str = ""
+    dtype_bytes: int = FP16_BYTES
+    #: Calibration factor applied to every compute-kernel duration.  The
+    #: paper's compute times come from a SCALE-sim-based systolic-array model
+    #: that is substantially faster than a generic GPU roofline for dense
+    #: conv/LSTM layers; this factor aligns the simulated compute time (and
+    #: therefore the compute:communication ratio that drives Figs. 10-12)
+    #: with the per-iteration compute levels the paper reports.
+    compute_time_scale: float = 1.0
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise WorkloadError(f"workload {self.name!r} has no layers")
+        if self.batch_size_per_npu <= 0:
+            raise WorkloadError(f"workload {self.name!r} needs a positive batch size")
+        if self.parallelism not in ("data", "model", "hybrid"):
+            raise WorkloadError(
+                f"parallelism must be 'data', 'model' or 'hybrid', got {self.parallelism!r}"
+            )
+        if self.embedding is not None and self.embedding.alltoall_before_layer >= len(self.layers):
+            raise WorkloadError("embedding.alltoall_before_layer is out of range")
+        if self.compute_time_scale <= 0:
+            raise WorkloadError("compute_time_scale must be positive")
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def total_params_bytes(self) -> int:
+        return sum(layer.params_bytes for layer in self.layers)
+
+    @property
+    def total_flops_per_iteration(self) -> float:
+        total = sum(layer.total_flops for layer in self.layers)
+        if self.embedding is not None:
+            total += self.embedding.lookup.flops + self.embedding.update.flops
+        return total
+
+    @property
+    def num_comm_layers(self) -> int:
+        return sum(1 for layer in self.layers if layer.has_weight_comm)
+
+    def total_collective_bytes(self) -> int:
+        """Total bytes of collective payloads issued per iteration."""
+        total = self.total_params_bytes
+        total += sum(l.forward_allreduce_bytes + l.backward_allreduce_bytes for l in self.layers)
+        if self.embedding is not None:
+            total += (
+                self.embedding.alltoall_forward_bytes
+                + self.embedding.alltoall_backward_bytes
+            )
+        return total
+
+    def summary(self) -> dict:
+        return {
+            "name": self.name,
+            "layers": self.num_layers,
+            "batch_per_npu": self.batch_size_per_npu,
+            "parallelism": self.parallelism,
+            "params_mb": self.total_params_bytes / (1024 * 1024),
+            "comm_mb_per_iter": self.total_collective_bytes() / (1024 * 1024),
+            "gflops_per_iter": self.total_flops_per_iteration / 1e9,
+        }

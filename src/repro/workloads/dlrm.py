@@ -1,0 +1,131 @@
+"""DLRM workload model (hybrid parallelism).
+
+The paper evaluates the production-class DLRM configuration of the
+ASTRA-sim + ns3 case study [47]: large bottom and top MLPs that are replicated
+(data parallel) and all-reduced, plus embedding tables that are partitioned
+across NPUs (model parallel) and exchanged with all-to-all collectives —
+before the top MLP in the forward pass and after back-propagation for the
+embedding gradients (Section II, Section V).
+
+The default sizes below produce per-iteration MLP all-reduce payloads in the
+tens-to-hundred-MB range and all-to-all payloads in the tens of MB, matching
+the communication sizes the paper reports from its production measurements
+(Fig. 4b: 16 / 92 / 153 MB all-reduces).  Mini-batch is 512 samples per NPU.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.compute.kernels import (
+    FP16_BYTES,
+    FP32_BYTES,
+    embedding_lookup_cost,
+    gemm_cost,
+)
+from repro.workloads.base import EmbeddingStage, Layer, Workload
+
+#: Bottom MLP (dense features -> embedding dimension).
+_BOTTOM_MLP: Tuple[int, ...] = (2048, 4096, 2048, 1024, 128)
+#: Top MLP (feature interactions -> click probability).
+_TOP_MLP: Tuple[int, ...] = (4096, 4096, 4096, 1024, 1)
+_NUM_DENSE_FEATURES = 13
+_NUM_TABLES = 64
+_EMBEDDING_DIM = 128
+_LOOKUPS_PER_SAMPLE = 28
+#: Training memory-traffic calibration factor for the MLP GEMMs.
+_TRAFFIC_FACTOR = 2.0
+
+
+def _mlp_layers(
+    prefix: str, batch: int, input_dim: int, widths: Sequence[int]
+) -> List[Layer]:
+    layers: List[Layer] = []
+    in_dim = input_dim
+    for i, width in enumerate(widths):
+        name = f"{prefix}.fc{i}"
+        forward = gemm_cost(
+            batch, width, in_dim, traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.fwd"
+        )
+        input_grad = gemm_cost(
+            batch, in_dim, width, traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.dgrad"
+        )
+        weight_grad = gemm_cost(
+            in_dim, width, batch, traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.wgrad"
+        )
+        params = in_dim * width + width
+        layers.append(
+            Layer(
+                name=name,
+                forward=forward,
+                input_grad=input_grad,
+                weight_grad=weight_grad,
+                params_bytes=params * FP16_BYTES,
+            )
+        )
+        in_dim = width
+    return layers
+
+
+def build_dlrm(
+    batch_size: int = 512,
+    num_tables: int = _NUM_TABLES,
+    embedding_dim: int = _EMBEDDING_DIM,
+    lookups_per_sample: int = _LOOKUPS_PER_SAMPLE,
+) -> Workload:
+    """Build the DLRM workload with ``batch_size`` samples per NPU."""
+    layers: List[Layer] = []
+    layers.extend(_mlp_layers("bottom", batch_size, _NUM_DENSE_FEATURES, _BOTTOM_MLP))
+    bottom_count = len(layers)
+
+    # The interaction layer concatenates the bottom-MLP output with the pooled
+    # embedding vectors (one per table) and feeds the pairwise interactions
+    # into the top MLP.
+    interaction_dim = embedding_dim + (num_tables * (num_tables + 1)) // 2
+    layers.extend(_mlp_layers("top", batch_size, interaction_dim, _TOP_MLP))
+
+    # Embedding stage: each NPU owns a slice of the tables and gathers rows
+    # for the *global* batch of its slice; the all-to-all redistributes the
+    # pooled vectors so each NPU has every table's vector for its local batch.
+    lookup = embedding_lookup_cost(
+        batch=batch_size,
+        lookups_per_sample=lookups_per_sample,
+        embedding_dim=embedding_dim,
+        num_tables=num_tables,
+        dtype_bytes=FP32_BYTES,
+        name="embedding.lookup",
+    )
+    update = embedding_lookup_cost(
+        batch=batch_size,
+        lookups_per_sample=lookups_per_sample,
+        embedding_dim=embedding_dim,
+        num_tables=num_tables,
+        dtype_bytes=FP32_BYTES,
+        name="embedding.update",
+    )
+    alltoall_bytes = batch_size * num_tables * embedding_dim * FP16_BYTES
+    embedding = EmbeddingStage(
+        lookup=lookup,
+        update=update,
+        alltoall_forward_bytes=alltoall_bytes,
+        alltoall_backward_bytes=alltoall_bytes,
+        alltoall_before_layer=bottom_count,
+    )
+
+    return Workload(
+        name="dlrm",
+        layers=tuple(layers),
+        batch_size_per_npu=batch_size,
+        parallelism="hybrid",
+        embedding=embedding,
+        description=(
+            "Production-class DLRM: data-parallel bottom/top MLPs with FP16 "
+            "weight-gradient all-reduce, model-parallel embedding tables with "
+            "forward/backward all-to-all (paper Section V, mini-batch 512 per NPU)"
+        ),
+        extra={
+            "num_tables": num_tables,
+            "embedding_dim": embedding_dim,
+            "lookups_per_sample": lookups_per_sample,
+        },
+    )

@@ -1,0 +1,139 @@
+"""GNMT workload model.
+
+Google's Neural Machine Translation model (Wu et al.): an 8-layer LSTM
+encoder (first layer bidirectional), an 8-layer LSTM decoder with attention,
+shared 1024-dimensional hidden state, 32 K vocabulary embedding and softmax
+projection — roughly 200 M parameters.
+
+Under data parallelism each layer's FP16 weight gradients are all-reduced;
+the per-layer payloads here are large (tens of MB), which is why the paper
+finds GNMT communication easier to overlap than ResNet-50's many small
+collectives (Section VI-B).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compute.kernels import (
+    FP16_BYTES,
+    KernelCost,
+    combine,
+    elementwise_cost,
+    gemm_cost,
+    lstm_cell_cost,
+)
+from repro.workloads.base import Layer, Workload
+
+_HIDDEN = 1024
+_VOCAB = 32_000
+_NUM_ENCODER_LAYERS = 8
+_NUM_DECODER_LAYERS = 8
+_SEQ_LEN = 25
+#: Training memory-traffic calibration factor (activation storage, optimizer
+#: state, gate temporaries); GNMT compute is notably memory-BW sensitive
+#: (paper Section VI-B).
+_TRAFFIC_FACTOR = 1.5
+
+
+def _lstm_layer(name: str, batch: int, hidden: int, seq_len: int, input_dim: int) -> Layer:
+    """One LSTM layer; parameters cover the input and recurrent gate weights."""
+    forward = lstm_cell_cost(
+        batch, hidden, seq_len, traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.fwd"
+    )
+    input_grad = lstm_cell_cost(
+        batch, hidden, seq_len, traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.dgrad"
+    )
+    weight_grad = lstm_cell_cost(
+        batch, hidden, seq_len, traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.wgrad"
+    )
+    params = 4 * hidden * (input_dim + hidden + 1)
+    return Layer(
+        name=name,
+        forward=forward,
+        input_grad=input_grad,
+        weight_grad=weight_grad,
+        params_bytes=params * FP16_BYTES,
+    )
+
+
+def _embedding_layer(name: str, batch: int, vocab: int, hidden: int, seq_len: int) -> Layer:
+    """Vocabulary embedding: a gather forward, scatter-add backward."""
+    traffic = elementwise_cost(batch * seq_len * hidden, name=f"{name}.gather")
+    params = vocab * hidden
+    return Layer(
+        name=name,
+        forward=traffic,
+        input_grad=elementwise_cost(batch * seq_len * hidden, name=f"{name}.dgrad"),
+        weight_grad=elementwise_cost(batch * seq_len * hidden, name=f"{name}.wgrad"),
+        params_bytes=params * FP16_BYTES,
+    )
+
+
+def _attention_layer(name: str, batch: int, hidden: int, seq_len: int) -> Layer:
+    """Bahdanau-style attention: score GEMMs plus context combination."""
+    score = gemm_cost(
+        batch * seq_len, seq_len, hidden, traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.score"
+    )
+    context = gemm_cost(
+        batch * seq_len, hidden, seq_len, traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.context"
+    )
+    forward = combine(f"{name}.fwd", score, context)
+    params = 2 * hidden * hidden
+    return Layer(
+        name=name,
+        forward=forward,
+        input_grad=combine(f"{name}.dgrad", score, context),
+        weight_grad=combine(f"{name}.wgrad", score, context),
+        params_bytes=params * FP16_BYTES,
+    )
+
+
+def _projection_layer(name: str, batch: int, hidden: int, vocab: int, seq_len: int) -> Layer:
+    """Softmax projection to the vocabulary."""
+    forward = gemm_cost(
+        batch * seq_len, vocab, hidden, traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.fwd"
+    )
+    input_grad = gemm_cost(
+        batch * seq_len, hidden, vocab, traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.dgrad"
+    )
+    weight_grad = gemm_cost(
+        hidden, vocab, batch * seq_len, traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.wgrad"
+    )
+    params = hidden * vocab
+    return Layer(
+        name=name,
+        forward=forward,
+        input_grad=input_grad,
+        weight_grad=weight_grad,
+        params_bytes=params * FP16_BYTES,
+    )
+
+
+def build_gnmt(batch_size: int = 128, seq_len: int = _SEQ_LEN) -> Workload:
+    """Build the GNMT workload with ``batch_size`` sequences per NPU."""
+    layers: List[Layer] = []
+    layers.append(_embedding_layer("encoder.embedding", batch_size, _VOCAB, _HIDDEN, seq_len))
+    for i in range(_NUM_ENCODER_LAYERS):
+        # The first encoder layer is bidirectional: model it as double width input.
+        input_dim = _HIDDEN if i > 0 else 2 * _HIDDEN
+        layers.append(_lstm_layer(f"encoder.lstm{i}", batch_size, _HIDDEN, seq_len, input_dim))
+    layers.append(_embedding_layer("decoder.embedding", batch_size, _VOCAB, _HIDDEN, seq_len))
+    layers.append(_attention_layer("decoder.attention", batch_size, _HIDDEN, seq_len))
+    for i in range(_NUM_DECODER_LAYERS):
+        input_dim = 2 * _HIDDEN if i == 0 else _HIDDEN
+        layers.append(_lstm_layer(f"decoder.lstm{i}", batch_size, _HIDDEN, seq_len, input_dim))
+    layers.append(_projection_layer("decoder.projection", batch_size, _HIDDEN, _VOCAB, seq_len))
+
+    return Workload(
+        name="gnmt",
+        layers=tuple(layers),
+        batch_size_per_npu=batch_size,
+        parallelism="data",
+        description=(
+            "GNMT (8+8 LSTM layers, 1024 hidden, 32K vocab), data parallel, "
+            "per-layer FP16 weight-gradient all-reduce (paper Section V, "
+            "mini-batch 128 per NPU)"
+        ),
+        compute_time_scale=0.25,
+    )

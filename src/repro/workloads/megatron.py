@@ -1,0 +1,79 @@
+"""Megatron-LM workload model (tensor/model parallelism).
+
+The paper uses Megatron-LM only for the motivation measurements of
+Section III (communication slows down ~1.4x when overlapped with compute),
+but the workload is included here both to reproduce that experiment and as an
+extension workload for the simulator: a GPT-2-class transformer whose
+attention and MLP blocks are tensor-parallel, requiring a *blocking*
+activation all-reduce after every block in the forward pass and another in the
+backward pass (Shoeybi et al. 2019).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compute.kernels import FP16_BYTES, combine, gemm_cost
+from repro.workloads.base import Layer, Workload
+
+_HIDDEN = 2304
+_NUM_LAYERS = 24
+_SEQ_LEN = 1024
+_FFN_MULT = 4
+#: Training memory-traffic calibration factor for transformer GEMMs.
+_TRAFFIC_FACTOR = 2.0
+
+
+def _transformer_layer(name: str, batch: int, hidden: int, seq_len: int) -> Layer:
+    """One transformer block: attention projections + feed-forward GEMMs."""
+    tokens = batch * seq_len
+    qkv = gemm_cost(tokens, 3 * hidden, hidden, traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.qkv")
+    attn_scores = gemm_cost(
+        batch * seq_len, seq_len, hidden, traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.scores"
+    )
+    attn_out = gemm_cost(tokens, hidden, hidden, traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.attn_out")
+    ffn_in = gemm_cost(
+        tokens, _FFN_MULT * hidden, hidden, traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.ffn_in"
+    )
+    ffn_out = gemm_cost(
+        tokens, hidden, _FFN_MULT * hidden, traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.ffn_out"
+    )
+    forward = combine(f"{name}.fwd", qkv, attn_scores, attn_out, ffn_in, ffn_out)
+    params = (4 * hidden * hidden) + (2 * _FFN_MULT * hidden * hidden)
+    activation_bytes = tokens * hidden * FP16_BYTES
+    return Layer(
+        name=name,
+        forward=forward,
+        input_grad=combine(f"{name}.dgrad", qkv, attn_scores, attn_out, ffn_in, ffn_out),
+        weight_grad=combine(f"{name}.wgrad", qkv, attn_out, ffn_in, ffn_out),
+        params_bytes=params * FP16_BYTES,
+        # Tensor parallelism: two activation all-reduces per block per pass
+        # (one after attention, one after the MLP); modelled as one combined
+        # blocking all-reduce per pass.
+        forward_allreduce_bytes=2 * activation_bytes,
+        backward_allreduce_bytes=2 * activation_bytes,
+    )
+
+
+def build_megatron(
+    batch_size: int = 4,
+    num_layers: int = _NUM_LAYERS,
+    hidden: int = _HIDDEN,
+    seq_len: int = _SEQ_LEN,
+) -> Workload:
+    """Build a Megatron-LM style tensor-parallel transformer workload."""
+    layers: List[Layer] = [
+        _transformer_layer(f"layer{i}", batch_size, hidden, seq_len) for i in range(num_layers)
+    ]
+    return Workload(
+        name="megatron",
+        layers=tuple(layers),
+        batch_size_per_npu=batch_size,
+        parallelism="model",
+        description=(
+            "Megatron-LM style transformer with tensor parallelism: blocking "
+            "activation all-reduces per block in both passes plus data-parallel "
+            "weight-gradient all-reduces"
+        ),
+        extra={"hidden": hidden, "num_layers": num_layers, "seq_len": seq_len},
+    )

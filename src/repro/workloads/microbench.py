@@ -1,0 +1,94 @@
+"""Microbenchmark workloads for the Fig. 4 contention study.
+
+Section III measures, on a V100 + NVSwitch system, the slowdown of an NCCL
+all-reduce when it runs concurrently with (a) square GEMMs of growing size
+(compute-core contention) and (b) embedding-table lookups of growing batch
+size (memory-bandwidth contention).  These builders return the kernel costs
+and collective sizes of those microbenchmarks so the Fig. 4 experiment can
+replay them through the contention model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.compute.kernels import KernelCost, embedding_lookup_cost, gemm_cost
+from repro.units import MB
+
+#: GEMM sizes used in Fig. 4a (square N x N matrices).
+GEMM_SIZES: Tuple[int, ...] = (1_000, 2_000, 4_000)
+#: Embedding-lookup batch sizes used in Fig. 4a.
+EMB_LOOKUP_BATCHES: Tuple[int, ...] = (1_000, 10_000)
+#: All-reduce payloads used in Fig. 4a (bytes).
+ALL_REDUCE_SIZES: Tuple[int, ...] = (10 * MB, 100 * MB)
+#: All-reduce payloads of the production DLRM backward pass in Fig. 4b (bytes).
+DLRM_REPLAY_SIZES: Tuple[int, ...] = (16 * MB, 92 * MB, 153 * MB)
+
+#: Embedding table geometry of the Fig. 4a microbenchmark.
+EMB_TABLE_ROWS = 100_000
+EMB_DIM = 64
+EMB_LOOKUPS_PER_SAMPLE = 28
+
+
+@dataclass(frozen=True)
+class MicrobenchCase:
+    """One compute kernel overlapped with one all-reduce."""
+
+    label: str
+    compute: KernelCost
+    allreduce_bytes: int
+
+    @property
+    def compute_kind(self) -> str:
+        return "gemm" if self.compute.name.startswith("gemm") else "emb_lookup"
+
+
+def gemm_kernel(n: int) -> KernelCost:
+    """Square ``N x N`` GEMM as used in Fig. 4a."""
+    return gemm_cost(n, n, n, name=f"gemm{n}")
+
+
+def emb_lookup_kernel(batch: int) -> KernelCost:
+    """Embedding lookup over the Fig. 4a table geometry."""
+    return embedding_lookup_cost(
+        batch=batch,
+        lookups_per_sample=EMB_LOOKUPS_PER_SAMPLE,
+        embedding_dim=EMB_DIM,
+        num_tables=1,
+        name=f"emblookup{batch}",
+    )
+
+
+def fig4a_cases() -> Tuple[MicrobenchCase, ...]:
+    """All (compute kernel, all-reduce size) pairs of Fig. 4a."""
+    cases = []
+    for ar_bytes in ALL_REDUCE_SIZES:
+        ar_mb = ar_bytes // MB
+        for n in GEMM_SIZES:
+            cases.append(
+                MicrobenchCase(f"GEMM{n}+AR{ar_mb}MB", gemm_kernel(n), ar_bytes)
+            )
+        for batch in EMB_LOOKUP_BATCHES:
+            cases.append(
+                MicrobenchCase(
+                    f"EmbLookup{batch}+AR{ar_mb}MB", emb_lookup_kernel(batch), ar_bytes
+                )
+            )
+    return tuple(cases)
+
+
+def dlrm_replay_cases() -> Tuple[MicrobenchCase, ...]:
+    """The Fig. 4b DLRM backward-pass replay: big all-reduces under GEMM +
+    embedding-lookup pressure."""
+    compute = gemm_kernel(1_000)
+    lookup = emb_lookup_kernel(10_000)
+    cases = []
+    for ar_bytes in DLRM_REPLAY_SIZES:
+        cases.append(
+            MicrobenchCase(f"DLRM-GEMM+AR{ar_bytes // MB}MB", compute, ar_bytes)
+        )
+        cases.append(
+            MicrobenchCase(f"DLRM-Emb+AR{ar_bytes // MB}MB", lookup, ar_bytes)
+        )
+    return tuple(cases)

@@ -1,0 +1,139 @@
+"""ResNet-50 workload model.
+
+Builds the standard ResNet-50 v1 architecture layer by layer (He et al.):
+a 7x7 stem convolution, four stages of bottleneck blocks ([3, 4, 6, 3]
+blocks with 64/128/256/512 base channels and 4x expansion), and the final
+1000-way fully-connected classifier — about 25.5 M parameters in total.
+
+Every convolution / FC layer becomes one :class:`~repro.workloads.base.Layer`
+with conv-shaped kernel costs and an FP16 weight-gradient all-reduce payload,
+which is what the paper's data-parallel configuration communicates
+(Section V: batch 32 per NPU).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.compute.kernels import FP16_BYTES, KernelCost, conv2d_cost, gemm_cost
+from repro.workloads.base import Layer, Workload
+
+#: (num_blocks, base_channels, first_stride) for the four ResNet-50 stages.
+_STAGES: Tuple[Tuple[int, int, int], ...] = (
+    (3, 64, 1),
+    (4, 128, 2),
+    (6, 256, 2),
+    (3, 512, 2),
+)
+_EXPANSION = 4
+_IMAGE_SIZE = 224
+_NUM_CLASSES = 1000
+#: Training kernels move roughly 3x the raw operand traffic (stored
+#: activations for the backward pass, batch-norm/ReLU epilogues, optimizer
+#: state); this factor calibrates the roofline's memory-bound side.
+_TRAFFIC_FACTOR = 1.0
+
+
+def _conv_layer(
+    name: str,
+    batch: int,
+    in_channels: int,
+    out_channels: int,
+    out_hw: int,
+    kernel_size: int,
+) -> Layer:
+    """Build a Layer for one convolution (forward + both gradient kernels)."""
+    forward = conv2d_cost(
+        batch, in_channels, out_channels, out_hw, out_hw, kernel_size,
+        traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.fwd"
+    )
+    # Input-gradient and weight-gradient convolutions have the same arithmetic
+    # cost as the forward convolution to first order.
+    input_grad = conv2d_cost(
+        batch, out_channels, in_channels, out_hw, out_hw, kernel_size,
+        traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.dgrad"
+    )
+    weight_grad = conv2d_cost(
+        batch, in_channels, out_channels, out_hw, out_hw, kernel_size,
+        traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.wgrad"
+    )
+    params = out_channels * in_channels * kernel_size * kernel_size
+    return Layer(
+        name=name,
+        forward=forward,
+        input_grad=input_grad,
+        weight_grad=weight_grad,
+        params_bytes=params * FP16_BYTES,
+    )
+
+
+def _fc_layer(name: str, batch: int, in_features: int, out_features: int) -> Layer:
+    forward = gemm_cost(
+        batch, out_features, in_features, traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.fwd"
+    )
+    input_grad = gemm_cost(
+        batch, in_features, out_features, traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.dgrad"
+    )
+    weight_grad = gemm_cost(
+        in_features, out_features, batch, traffic_factor=_TRAFFIC_FACTOR, name=f"{name}.wgrad"
+    )
+    params = in_features * out_features
+    return Layer(
+        name=name,
+        forward=forward,
+        input_grad=input_grad,
+        weight_grad=weight_grad,
+        params_bytes=params * FP16_BYTES,
+    )
+
+
+def build_resnet50(batch_size: int = 32) -> Workload:
+    """Build the ResNet-50 workload with ``batch_size`` samples per NPU."""
+    layers: List[Layer] = []
+
+    # Stem: 7x7/2 convolution to 64 channels at 112x112.
+    layers.append(_conv_layer("conv1", batch_size, 3, 64, _IMAGE_SIZE // 2, 7))
+
+    in_channels = 64
+    spatial = _IMAGE_SIZE // 4  # after the stride-2 stem and 3x3/2 max-pool
+    for stage_index, (num_blocks, base_channels, first_stride) in enumerate(_STAGES, start=1):
+        out_channels = base_channels * _EXPANSION
+        for block_index in range(num_blocks):
+            stride = first_stride if block_index == 0 else 1
+            block_spatial = spatial // stride
+            prefix = f"stage{stage_index}.block{block_index}"
+            # 1x1 reduce.
+            layers.append(
+                _conv_layer(f"{prefix}.conv1", batch_size, in_channels, base_channels, block_spatial, 1)
+            )
+            # 3x3 spatial.
+            layers.append(
+                _conv_layer(f"{prefix}.conv2", batch_size, base_channels, base_channels, block_spatial, 3)
+            )
+            # 1x1 expand.
+            layers.append(
+                _conv_layer(f"{prefix}.conv3", batch_size, base_channels, out_channels, block_spatial, 1)
+            )
+            # Projection shortcut on the first block of every stage.
+            if block_index == 0:
+                layers.append(
+                    _conv_layer(
+                        f"{prefix}.downsample", batch_size, in_channels, out_channels, block_spatial, 1
+                    )
+                )
+            in_channels = out_channels
+            spatial = block_spatial
+
+    layers.append(_fc_layer("fc", batch_size, in_channels, _NUM_CLASSES))
+
+    return Workload(
+        name="resnet50",
+        layers=tuple(layers),
+        batch_size_per_npu=batch_size,
+        parallelism="data",
+        description=(
+            "ResNet-50 v1, data parallel, per-layer FP16 weight-gradient "
+            "all-reduce (paper Section V, mini-batch 32 per NPU)"
+        ),
+        compute_time_scale=0.35,
+    )

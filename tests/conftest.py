@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.presets import make_system
+from repro.network.topology import Torus3D
+from repro.workloads.registry import build_workload
+
+
+@pytest.fixture(scope="session")
+def torus_222() -> Torus3D:
+    return Torus3D(2, 2, 2)
+
+
+@pytest.fixture(scope="session")
+def torus_444() -> Torus3D:
+    return Torus3D(4, 4, 4)
+
+
+@pytest.fixture(scope="session")
+def torus_422() -> Torus3D:
+    return Torus3D(4, 2, 2)
+
+
+@pytest.fixture(scope="session")
+def ace_system_cfg():
+    return make_system("ace")
+
+
+@pytest.fixture(scope="session")
+def ideal_system_cfg():
+    return make_system("ideal")
+
+
+@pytest.fixture(scope="session")
+def comm_opt_system_cfg():
+    return make_system("baseline_comm_opt")
+
+
+@pytest.fixture(scope="session")
+def comp_opt_system_cfg():
+    return make_system("baseline_comp_opt")
+
+
+@pytest.fixture(scope="session")
+def resnet50_workload():
+    return build_workload("resnet50")
+
+
+@pytest.fixture(scope="session")
+def dlrm_workload():
+    return build_workload("dlrm")
+
+
+@pytest.fixture(scope="session")
+def gnmt_workload():
+    return build_workload("gnmt")

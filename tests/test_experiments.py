@@ -1,0 +1,122 @@
+"""Experiment harnesses (fast mode) and integration-level paper claims."""
+
+import pytest
+
+from repro.experiments.fig4_microbench import run_fig4
+from repro.experiments.fig5_membw_sweep import run_fig5, run_section6a_analysis
+from repro.experiments.fig6_sm_sweep import run_fig6
+from repro.experiments.fig9_dse import run_fig9a, run_fig9b
+from repro.experiments.fig10_overlap import run_fig10
+from repro.experiments.fig11_scaling import run_fig11
+from repro.experiments.fig12_dlrm_opt import run_fig12
+from repro.experiments.table4_area import run_table4
+from repro.experiments.common import run_grid, topology_for
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig4(fast=True)
+
+    def test_all_cases_present(self, rows):
+        assert len(rows) == 10
+
+    def test_slowdowns_at_least_one(self, rows):
+        assert all(r["slowdown"] >= 0.99 for r in rows)
+
+    def test_bigger_gemm_slows_allreduce_more(self, rows):
+        by_case = {r["case"]: r["slowdown"] for r in rows}
+        assert by_case["GEMM4000+AR10MB"] >= by_case["GEMM1000+AR10MB"]
+
+    def test_bigger_lookup_batch_slows_allreduce_more(self, rows):
+        by_case = {r["case"]: r["slowdown"] for r in rows}
+        assert by_case["EmbLookup10000+AR10MB"] >= by_case["EmbLookup1000+AR10MB"]
+
+
+class TestFig5and6:
+    def test_fig5_rows_cover_both_sizes(self):
+        rows = run_fig5(fast=True, sizes=(16, 64), payload_bytes=16 * 1024 * 1024)
+        assert {int(r["npus"]) for r in rows} == {16, 64}
+        for row in rows:
+            assert row["ideal_net_bw_gbps"] >= row["baseline_net_bw_gbps"] - 1e-6
+
+    def test_section6a_reduction_factor(self):
+        rows = run_section6a_analysis(sizes=(64,))
+        assert rows[0]["memory_bw_reduction"] == pytest.approx(3.375, rel=1e-3)
+
+    def test_fig6_more_sms_never_hurt(self):
+        rows = run_fig6(fast=True, sizes=(16,), payload_bytes=16 * 1024 * 1024)
+        ordered = sorted(rows, key=lambda r: r["comm_sms"])
+        bws = [r["baseline_net_bw_gbps"] for r in ordered]
+        assert all(b2 >= b1 * 0.99 for b1, b2 in zip(bws, bws[1:]))
+
+
+class TestFig9:
+    def test_dse_reference_point_is_best_or_tied(self):
+        rows = run_fig9a(fast=True, sizes=(16,))
+        reference = next(r for r in rows if r["sram_mb"] == 4 and r["num_fsms"] == 16)
+        assert reference["performance_vs_reference"] == pytest.approx(1.0)
+        assert all(r["performance_vs_reference"] <= 1.001 for r in rows)
+
+    def test_utilization_higher_in_backward_pass(self):
+        rows = run_fig9b(fast=True, workloads=("resnet50",), num_npus=16)
+        assert rows[0]["ace_util_backward"] > rows[0]["ace_util_forward"]
+
+
+class TestFig10and11:
+    @pytest.fixture(scope="class")
+    def fig11(self):
+        return run_fig11(fast=True, workloads=("dlrm",), sizes=(16, 64))
+
+    def test_breakdown_rows_complete(self, fig11):
+        rows = fig11["breakdown"]
+        assert len(rows) == 2 * 5  # 2 sizes x 5 systems
+        assert all(r["total_time_us"] > 0 for r in rows)
+
+    def test_ace_speedup_at_least_one(self, fig11):
+        for row in fig11["speedups"]:
+            assert row["speedup_vs_best_baseline"] >= 0.99
+
+    def test_speedup_grows_with_scale(self, fig11):
+        by_size = {r["npus"]: r["speedup_vs_best_baseline"] for r in fig11["speedups"]}
+        assert by_size[64] >= by_size[16] * 0.98
+
+    def test_fig10_summary(self):
+        rows = run_fig10(fast=True, workloads=("dlrm",), num_npus=16)
+        systems = {r["system"] for r in rows}
+        assert systems == {"BaselineCommOpt", "BaselineCompOpt", "ACE", "Ideal"}
+        ace_row = next(r for r in rows if r["system"] == "ACE")
+        assert ace_row["fraction_of_ideal"] > 0.8
+        assert ace_row["timeline_windows"] > 0
+
+
+class TestFig12:
+    def test_optimized_loop_helps_ace_more_than_baseline(self):
+        rows = run_fig12(fast=True, num_npus=16)
+        improvements = {
+            r["system"]: r["total_time_us"] for r in rows if r["loop"] == "improvement"
+        }
+        assert improvements["ACE"] >= 1.0
+        assert improvements["ACE"] >= improvements["BaselineCompOpt"] * 0.99
+
+
+class TestTable4:
+    def test_components_and_overhead(self):
+        rows = run_table4()
+        total = next(r for r in rows if r["component"] == "ACE (Total)")
+        overhead = rows[-1]
+        assert total["area_um2"] == pytest.approx(5.29e6, rel=0.03)
+        assert overhead["area_um2"] < 2.0  # percent
+        assert overhead["power_mw"] < 2.0  # percent
+
+
+class TestCommonHelpers:
+    def test_topology_for(self):
+        assert topology_for(128).num_nodes == 128
+
+    def test_run_grid_small(self):
+        results = run_grid(
+            systems=("ace", "ideal"), workloads=("resnet50",), sizes=(16,), fast=True
+        )
+        assert len(results) == 2
+        assert {r.system_name for r in results} == {"ACE", "Ideal"}

@@ -1,0 +1,128 @@
+"""End-to-end integration tests pinned to the paper's qualitative claims.
+
+These tests exercise the whole stack (workloads -> training loop -> collective
+executor -> endpoints -> fabric) and assert the *shape* of the paper's
+results: orderings, ratios and trends rather than absolute numbers.
+"""
+
+import pytest
+
+from repro.analysis.bandwidth import analytical_memory_traffic, measure_network_drive
+from repro.config.presets import make_system
+from repro.network.topology import Torus3D
+from repro.training.loop import simulate_training
+from repro.units import KB, MB
+from repro.workloads.registry import build_workload
+
+CHUNK = 512 * KB
+
+
+@pytest.fixture(scope="module")
+def scaling_results():
+    """ACE / best-baseline / ideal results for DLRM at two platform sizes."""
+    workload = build_workload("dlrm")
+    out = {}
+    for npus in (16, 64):
+        for name in ("ace", "ideal", "baseline_comp_opt", "baseline_comm_opt"):
+            out[(npus, name)] = simulate_training(
+                make_system(name), workload, num_npus=npus, iterations=2, chunk_bytes=CHUNK
+            )
+    return out
+
+
+class TestAbstractClaims:
+    def test_memory_bw_reduction_about_3_5x(self):
+        """ACE reduces the memory BW needed to drive the network by ~3.5x."""
+        req = analytical_memory_traffic(Torus3D(4, 4, 4))
+        assert 3.0 <= req.memory_bw_reduction <= 4.0
+
+    def test_ace_improves_network_bw_utilization(self):
+        """ACE drives the fabric harder than the compute-optimised baseline."""
+        topology = Torus3D(4, 4, 4)
+        ace = measure_network_drive(make_system("ace"), topology, 16 * MB, chunk_bytes=128 * KB)
+        comp = measure_network_drive(
+            make_system("baseline_comp_opt"), topology, 16 * MB, chunk_bytes=128 * KB
+        )
+        assert ace.achieved_bandwidth_gbps > 1.4 * comp.achieved_bandwidth_gbps
+
+    def test_ace_speeds_up_iteration_time(self, scaling_results):
+        for npus in (16, 64):
+            ace = scaling_results[(npus, "ace")]
+            best_baseline = min(
+                scaling_results[(npus, "baseline_comp_opt")].iteration_time_ns,
+                scaling_results[(npus, "baseline_comm_opt")].iteration_time_ns,
+            )
+            assert best_baseline / ace.iteration_time_ns >= 1.0
+
+
+class TestEvaluationTrends:
+    def test_comp_opt_beats_comm_opt(self, scaling_results):
+        """Fig. 11a: BaselineCompOpt always outperforms BaselineCommOpt."""
+        for npus in (16, 64):
+            comp = scaling_results[(npus, "baseline_comp_opt")]
+            comm = scaling_results[(npus, "baseline_comm_opt")]
+            assert comp.iteration_time_ns <= comm.iteration_time_ns
+
+    def test_ace_tracks_ideal_closely(self, scaling_results):
+        """ACE reaches ~90% of the ideal system's performance."""
+        for npus in (16, 64):
+            ace = scaling_results[(npus, "ace")]
+            ideal = scaling_results[(npus, "ideal")]
+            assert ace.fraction_of_ideal(ideal) >= 0.85
+
+    def test_exposed_communication_grows_with_scale(self, scaling_results):
+        """Fig. 11a: exposed communication increases with the platform size."""
+        small = scaling_results[(16, "baseline_comp_opt")]
+        large = scaling_results[(64, "baseline_comp_opt")]
+        assert large.exposed_comm_ns >= small.exposed_comm_ns
+
+    def test_ace_advantage_grows_with_scale(self, scaling_results):
+        """Fig. 11b: ACE's speedup over the baselines grows with system size."""
+        speedups = {}
+        for npus in (16, 64):
+            ace = scaling_results[(npus, "ace")]
+            comp = scaling_results[(npus, "baseline_comp_opt")]
+            speedups[npus] = comp.iteration_time_ns / ace.iteration_time_ns
+        assert speedups[64] >= speedups[16] * 0.98
+
+    def test_compute_time_ordering(self, scaling_results):
+        """CommOpt sacrifices compute; ACE keeps compute close to ideal."""
+        for npus in (16, 64):
+            ideal = scaling_results[(npus, "ideal")].total_compute_ns
+            ace = scaling_results[(npus, "ace")].total_compute_ns
+            comm = scaling_results[(npus, "baseline_comm_opt")].total_compute_ns
+            assert ideal <= ace <= comm
+            assert comm / ideal > 1.2
+
+    def test_weak_scaling_keeps_compute_constant(self, scaling_results):
+        """Weak scaling: per-NPU compute time is independent of system size."""
+        small = scaling_results[(16, "ideal")].total_compute_ns
+        large = scaling_results[(64, "ideal")].total_compute_ns
+        assert large == pytest.approx(small, rel=0.02)
+
+
+class TestNoOverlapBehaviour:
+    def test_no_overlap_has_fast_compute_but_exposed_comm(self):
+        workload = build_workload("resnet50", batch_size=8)
+        no_overlap = simulate_training(
+            make_system("baseline_no_overlap"), workload, num_npus=16, iterations=2,
+            chunk_bytes=CHUNK,
+        )
+        comm_opt = simulate_training(
+            make_system("baseline_comm_opt"), workload, num_npus=16, iterations=2,
+            chunk_bytes=CHUNK,
+        )
+        # Time-sharing gives NoOverlap ideal-speed compute...
+        assert no_overlap.total_compute_ns < comm_opt.total_compute_ns
+        # ...but all of its communication sits on the critical path.
+        assert no_overlap.exposed_comm_ns > comm_opt.exposed_comm_ns
+
+
+class TestLifoScheduling:
+    def test_lifo_not_slower_than_fifo_for_data_parallel(self):
+        workload = build_workload("resnet50", batch_size=8)
+        lifo_system = make_system("ace")
+        fifo_system = make_system("ace").with_overrides(collective_scheduling="fifo")
+        lifo = simulate_training(lifo_system, workload, num_npus=64, iterations=2, chunk_bytes=CHUNK)
+        fifo = simulate_training(fifo_system, workload, num_npus=64, iterations=2, chunk_bytes=CHUNK)
+        assert lifo.total_time_ns <= fifo.total_time_ns * 1.02

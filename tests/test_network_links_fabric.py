@@ -1,0 +1,131 @@
+"""Links, messages and the multi-node fabric simulator."""
+
+import pytest
+
+from repro.config.system import NetworkConfig
+from repro.errors import CollectiveError, RoutingError
+from repro.network.fabric import FabricSimulator
+from repro.network.links import Link, LinkKind
+from repro.network.messages import new_chunk, new_message, split_payload
+from repro.network.symmetric import SymmetricFabric
+from repro.network.topology import Torus3D
+
+
+class TestLink:
+    def test_intra_vs_inter_package(self):
+        net = NetworkConfig()
+        local = Link(0, 1, "local", net)
+        vertical = Link(0, 4, "vertical", net)
+        assert local.kind is LinkKind.INTRA_PACKAGE
+        assert vertical.kind is LinkKind.INTER_PACKAGE
+        assert local.effective_bandwidth_gbps > vertical.effective_bandwidth_gbps
+        assert local.latency_ns < vertical.latency_ns
+
+    def test_link_efficiency_applied(self):
+        net = NetworkConfig()
+        link = Link(0, 1, "local", net)
+        assert link.effective_bandwidth_gbps == pytest.approx(200.0 * 0.94)
+
+    def test_reserve_accumulates_stats(self):
+        link = Link(0, 1, "local", NetworkConfig(), traced=True)
+        link.reserve(1000.0, 0.0)
+        assert link.bytes_moved == 1000.0
+        assert link.busy_time > 0.0
+        assert link.tracer is not None
+
+
+class TestMessages:
+    def test_split_payload(self):
+        assert split_payload(100, 64) == [64, 36]
+        assert split_payload(128, 64) == [64, 64]
+        with pytest.raises(CollectiveError):
+            split_payload(0, 64)
+
+    def test_message_packets(self):
+        msg = new_message(chunk_id=0, size_bytes=1000, src=0, dst=1)
+        packets = msg.packets(256)
+        assert len(packets) == 4
+        assert sum(p.size_bytes for p in packets) == 1000
+
+    def test_chunk_phase_advance(self):
+        chunk = new_chunk(collective_id=0, size_bytes=1024, num_phases=2)
+        chunk.advance_phase()
+        chunk.advance_phase()
+        with pytest.raises(CollectiveError):
+            chunk.advance_phase()
+
+    def test_invalid_sizes(self):
+        with pytest.raises(CollectiveError):
+            new_chunk(0, 0, 1)
+        with pytest.raises(CollectiveError):
+            new_message(0, 0, 0, 1)
+
+
+class TestFabricSimulator:
+    def test_direct_send(self, torus_222):
+        fabric = FabricSimulator(torus_222, NetworkConfig())
+        delivery = fabric.send_direct(0, 1, 64 * 1024, 0.0)
+        assert delivery.hops == 1
+        assert delivery.arrived_at > delivery.departed_at
+
+    def test_routed_send_hop_count(self, torus_444):
+        fabric = FabricSimulator(torus_444, NetworkConfig())
+        far = torus_444.node_id(2, 2, 2)
+        delivery = fabric.send_routed(0, far, 4096, 0.0)
+        assert delivery.hops == 6
+
+    def test_routed_send_to_self(self, torus_222):
+        fabric = FabricSimulator(torus_222, NetworkConfig())
+        delivery = fabric.send_routed(3, 3, 1024, 5.0)
+        assert delivery.hops == 0
+        assert delivery.arrived_at == 5.0
+
+    def test_unconnected_direct_send_rejected(self, torus_444):
+        fabric = FabricSimulator(torus_444, NetworkConfig())
+        far = torus_444.node_id(2, 2, 2)
+        with pytest.raises(RoutingError):
+            fabric.send_direct(0, far, 1024, 0.0)
+
+    def test_bytes_accounting(self, torus_222):
+        fabric = FabricSimulator(torus_222, NetworkConfig())
+        fabric.send_routed(0, 7, 1000, 0.0)
+        moved = fabric.total_bytes_moved()
+        # Three hops (one per dimension) each carry the full message.
+        assert moved == pytest.approx(3000.0)
+        per_dim = fabric.per_dimension_bytes()
+        assert set(per_dim) == {"local", "vertical", "horizontal"}
+
+    def test_contention_serializes(self, torus_222):
+        fabric = FabricSimulator(torus_222, NetworkConfig())
+        first = fabric.send_direct(0, 1, 1024 * 1024, 0.0)
+        second = fabric.send_direct(0, 1, 1024 * 1024, 0.0)
+        assert second.departed_at >= first.arrived_at - fabric.link(0, 1, "local").latency_ns
+
+
+class TestSymmetricFabric:
+    def test_dimension_pipes_match_table5(self, torus_444):
+        fabric = SymmetricFabric(torus_444, NetworkConfig())
+        assert set(fabric.dimensions) == {"local", "vertical", "horizontal"}
+        assert fabric.pipe("local").bandwidth_gbps == pytest.approx(376.0)
+        assert fabric.pipe("vertical").bandwidth_gbps == pytest.approx(47.0)
+        assert fabric.injection_bandwidth_gbps == pytest.approx(470.0)
+
+    def test_degenerate_dimensions_absent(self):
+        fabric = SymmetricFabric(Torus3D(8, 1, 1), NetworkConfig())
+        assert fabric.dimensions == ["local"]
+        assert not fabric.has_dimension("vertical")
+
+    def test_utilization_and_bytes(self, torus_444):
+        fabric = SymmetricFabric(torus_444, NetworkConfig())
+        fabric.pipe("vertical").reserve(47_000.0, 0.0)  # 1000 ns of vertical traffic
+        assert fabric.bytes_injected == pytest.approx(47_000.0)
+        assert fabric.utilization(1000.0) == pytest.approx(1.0 / 3.0, rel=1e-3)
+        assert fabric.achieved_bandwidth_gbps(1000.0) == pytest.approx(47.0)
+        assert fabric.last_activity() == pytest.approx(1000.0)
+
+    def test_utilization_series(self, torus_444):
+        fabric = SymmetricFabric(torus_444, NetworkConfig())
+        fabric.pipe("local").reserve(376_0.0, 0.0)
+        series = fabric.utilization_series(horizon_ns=100.0, window_ns=10.0)
+        assert len(series) == 10
+        assert series[0][1] > 0

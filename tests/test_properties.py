@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives import dataops
+from repro.collectives.hierarchical import hierarchical_all_reduce_plan
+from repro.collectives.ring import ring_all_reduce, ring_reduce_scatter
+from repro.network.messages import split_payload
+from repro.network.routing import hop_count, ring_distance, xyz_route
+from repro.network.topology import Torus3D
+from repro.sim.engine import Simulator
+from repro.sim.resources import BandwidthResource
+from repro.sim.trace import IntervalTracer
+
+# Keep hypothesis example counts modest so the suite stays fast.
+DEFAULT_SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@DEFAULT_SETTINGS
+@given(
+    num_nodes=st.integers(min_value=2, max_value=8),
+    shard_elems=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_ring_all_reduce_always_sums(num_nodes, shard_elems, seed):
+    rng = np.random.default_rng(seed)
+    data = [rng.normal(size=num_nodes * shard_elems) for _ in range(num_nodes)]
+    out = ring_all_reduce(data)
+    expected = np.sum(np.stack(data), axis=0)
+    for node_result in out:
+        np.testing.assert_allclose(node_result, expected, rtol=1e-9, atol=1e-9)
+
+
+@DEFAULT_SETTINGS
+@given(
+    num_nodes=st.integers(min_value=2, max_value=8),
+    shard_elems=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_ring_reduce_scatter_preserves_total_sum(num_nodes, shard_elems, seed):
+    rng = np.random.default_rng(seed)
+    data = [rng.normal(size=num_nodes * shard_elems) for _ in range(num_nodes)]
+    shards = ring_reduce_scatter(data)
+    total_from_shards = sum(float(np.sum(s)) for s in shards)
+    expected_total = float(np.sum(np.stack(data)))
+    assert total_from_shards == pytest.approx(expected_total, rel=1e-9, abs=1e-9)
+
+
+@DEFAULT_SETTINGS
+@given(
+    num_nodes=st.integers(min_value=1, max_value=16),
+    shard_elems=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_all_to_all_is_a_permutation_of_the_data(num_nodes, shard_elems, seed):
+    rng = np.random.default_rng(seed)
+    data = [rng.normal(size=num_nodes * shard_elems) for _ in range(num_nodes)]
+    out = dataops.all_to_all(data)
+    before = np.sort(np.concatenate(data))
+    after = np.sort(np.concatenate(out))
+    np.testing.assert_allclose(before, after)
+
+
+@DEFAULT_SETTINGS
+@given(
+    payload=st.integers(min_value=1, max_value=10_000_000),
+    chunk=st.integers(min_value=1, max_value=1_000_000),
+)
+def test_split_payload_conserves_bytes(payload, chunk):
+    sizes = split_payload(payload, chunk)
+    assert sum(sizes) == payload
+    assert all(0 < s <= chunk for s in sizes)
+    assert len([s for s in sizes if s < chunk]) <= 1
+
+
+@DEFAULT_SETTINGS
+@given(
+    size=st.integers(min_value=1, max_value=64),
+    src=st.integers(min_value=0, max_value=63),
+    dst=st.integers(min_value=0, max_value=63),
+)
+def test_ring_distance_bounds_and_symmetry(size, src, dst):
+    src %= size
+    dst %= size
+    hops, direction = ring_distance(size, src, dst)
+    assert 0 <= hops <= size // 2
+    assert direction in (+1, -1)
+    back_hops, _ = ring_distance(size, dst, src)
+    assert back_hops == hops
+
+
+@DEFAULT_SETTINGS
+@given(
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+    ).filter(lambda s: s[0] * s[1] * s[2] >= 2),
+    data=st.data(),
+)
+def test_xyz_route_delivers_and_is_bounded(shape, data):
+    torus = Torus3D(*shape)
+    src = data.draw(st.integers(min_value=0, max_value=torus.num_nodes - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=torus.num_nodes - 1))
+    route = xyz_route(torus, src, dst)
+    if src == dst:
+        assert route == []
+    else:
+        assert route[0][0] == src
+        assert route[-1][1] == dst
+    max_hops = sum(s // 2 for s in shape)
+    assert hop_count(torus, src, dst) <= max_hops
+
+
+@DEFAULT_SETTINGS
+@given(
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+    ).filter(lambda s: s[0] * s[1] * s[2] >= 2),
+)
+def test_hierarchical_allreduce_plan_invariants(shape):
+    torus = Torus3D(*shape)
+    plan = hierarchical_all_reduce_plan(torus)
+    # The resident fraction returns to 1 and injected bytes are bounded by
+    # two full traversals of the two all-reduce dimensions (2 + 2 = 4).
+    assert plan.phases[-1].resident_fraction_out == pytest.approx(1.0)
+    assert 0.0 < plan.total_injected_fraction <= 4.0
+    # Reductions never exceed half the injected traffic... plus local RS.
+    assert plan.total_reduced_fraction <= plan.total_injected_fraction
+
+
+@DEFAULT_SETTINGS
+@given(
+    requests=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e6),   # earliest start
+            st.floats(min_value=1.0, max_value=1e6),   # bytes
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    bandwidth=st.floats(min_value=0.5, max_value=500.0),
+)
+def test_bandwidth_resource_never_overlaps_transfers(requests, bandwidth):
+    pipe = BandwidthResource("p", bandwidth)
+    reservations = []
+    for earliest, num_bytes in requests:
+        reservations.append(pipe.reserve(num_bytes, earliest))
+    # Serialization intervals must be non-overlapping and ordered (FIFO).
+    for first, second in zip(reservations, reservations[1:]):
+        first_serialization_end = first.start + first.num_bytes / bandwidth
+        assert second.start >= first_serialization_end - 1e-6
+    total_busy = sum(r.num_bytes for r in reservations) / bandwidth
+    assert pipe.busy_time == pytest.approx(total_busy, rel=1e-6)
+
+
+@DEFAULT_SETTINGS
+@given(
+    intervals=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e4),
+            st.floats(min_value=0.0, max_value=1e3),
+        ),
+        max_size=30,
+    )
+)
+def test_interval_tracer_busy_time_is_bounded_by_span(intervals):
+    tracer = IntervalTracer()
+    for start, length in intervals:
+        tracer.record(start, start + length)
+    busy = tracer.busy_time()
+    assert busy <= tracer.total_span() + 1e-6
+    assert busy >= 0.0
+
+
+@DEFAULT_SETTINGS
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_simulator_clock_is_monotonic(delays):
+    sim = Simulator()
+    observed = []
+    for delay in delays:
+        sim.schedule(delay, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)

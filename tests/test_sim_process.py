@@ -1,0 +1,106 @@
+"""Signals and co-operative processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, Signal, all_of
+
+
+def test_signal_fires_once_with_value():
+    sim = Simulator()
+    sig = Signal("s")
+    assert not sig.fired
+    sig.fire(sim, value=42)
+    assert sig.fired
+    assert sig.value == 42
+    with pytest.raises(SimulationError):
+        sig.fire(sim)
+
+
+def test_signal_late_subscriber_still_called():
+    sim = Simulator()
+    sig = Signal()
+    sig.fire(sim)
+    called = []
+    sig.on_fire(sim, lambda s: called.append(True))
+    sim.run()
+    assert called == [True]
+
+
+def test_signal_fire_at():
+    sim = Simulator()
+    sig = Signal()
+    sig.fire_at(sim, 25.0)
+    sim.run()
+    assert sig.fired_at == pytest.approx(25.0)
+
+
+def test_all_of_waits_for_every_signal():
+    sim = Simulator()
+    a, b = Signal("a"), Signal("b")
+    combined = all_of(sim, [a, b])
+    a.fire_at(sim, 10.0)
+    b.fire_at(sim, 30.0)
+    sim.run()
+    assert combined.fired
+    assert combined.fired_at == pytest.approx(30.0)
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    combined = all_of(sim, [])
+    assert combined.fired
+
+
+def test_process_delays_advance_clock():
+    sim = Simulator()
+
+    def program():
+        yield 10.0
+        yield 5.0
+        return "done"
+
+    proc = Process(sim, program(), name="p")
+    sim.run()
+    assert proc.done.fired
+    assert proc.done.value == "done"
+    assert sim.now == pytest.approx(15.0)
+
+
+def test_process_waits_on_signal():
+    sim = Simulator()
+    gate = Signal("gate")
+    log = []
+
+    def program():
+        log.append(("start", sim.now))
+        yield gate
+        log.append(("resumed", sim.now))
+
+    Process(sim, program())
+    gate.fire_at(sim, 100.0)
+    sim.run()
+    assert log[-1] == ("resumed", 100.0)
+
+
+def test_process_rejects_negative_delay():
+    sim = Simulator()
+
+    def program():
+        yield -5.0
+
+    Process(sim, program())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_process_rejects_bad_yield_value():
+    sim = Simulator()
+
+    def program():
+        yield "nonsense"
+
+    Process(sim, program())
+    with pytest.raises(SimulationError):
+        sim.run()

@@ -1,0 +1,72 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_gbps_equals_bytes_per_ns():
+    assert units.bytes_per_ns(1.0) == 1.0
+    assert units.bytes_per_ns(400.0) == 400.0
+
+
+def test_transfer_time_simple():
+    # 1000 bytes at 1 GB/s is 1000 ns.
+    assert units.transfer_time_ns(1000, 1.0) == pytest.approx(1000.0)
+    # 64 KB at 64 GB/s is 1024 ns.
+    assert units.transfer_time_ns(64 * units.KB, 64.0) == pytest.approx(1024.0)
+
+
+def test_transfer_time_rejects_non_positive_bandwidth():
+    with pytest.raises(ValueError):
+        units.transfer_time_ns(100, 0.0)
+    with pytest.raises(ValueError):
+        units.transfer_time_ns(100, -5.0)
+
+
+def test_cycles_roundtrip():
+    ns = units.cycles_to_ns(1245, 1245.0)
+    assert ns == pytest.approx(1000.0)
+    assert units.ns_to_cycles(ns, 1245.0) == pytest.approx(1245.0)
+
+
+def test_cycles_rejects_bad_frequency():
+    with pytest.raises(ValueError):
+        units.cycles_to_ns(10, 0)
+    with pytest.raises(ValueError):
+        units.ns_to_cycles(10, -1)
+
+
+def test_time_conversions():
+    assert units.ns_to_us(1500.0) == pytest.approx(1.5)
+    assert units.ns_to_ms(2_500_000.0) == pytest.approx(2.5)
+    assert units.us_to_ns(2.0) == pytest.approx(2000.0)
+    assert units.ms_to_ns(1.0) == pytest.approx(1_000_000.0)
+
+
+def test_flops_time():
+    # 120 TFLOP at 120 TFLOP/s takes one second.
+    assert units.flops_time_ns(120e12, 120.0) == pytest.approx(units.SECOND)
+    with pytest.raises(ValueError):
+        units.flops_time_ns(1e9, 0)
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [(512, "512.0 B"), (2048, "2.0 KB"), (3 * units.MB, "3.0 MB"), (5 * units.GB, "5.0 GB")],
+)
+def test_pretty_bytes(value, expected):
+    assert units.pretty_bytes(value) == expected
+
+
+@pytest.mark.parametrize(
+    "value,expected_suffix",
+    [(500.0, "ns"), (5_000.0, "us"), (5_000_000.0, "ms"), (5e9, "s")],
+)
+def test_pretty_time_suffix(value, expected_suffix):
+    assert units.pretty_time(value).endswith(expected_suffix)
+
+
+def test_data_size_constants():
+    assert units.MB == 1024 * units.KB
+    assert units.GB == 1024 * units.MB
