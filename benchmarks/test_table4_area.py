@@ -6,8 +6,8 @@ from repro.analysis.report import format_table
 from repro.experiments.table4_area import run_table4
 
 
-def test_table4_area_power(benchmark):
-    rows = benchmark(run_table4)
+def test_table4_area_power(benchmark, runner):
+    rows = benchmark(run_table4, runner=runner)
     print()
     print(
         format_table(

@@ -14,13 +14,15 @@ from repro.analysis.report import format_table
 from repro.config.system import AceConfig
 from repro.core.area_power import AceAreaPowerModel
 from repro.core.dse import ace_config_for, sweep_design_space
-from repro.units import MB
+from repro.runner import SweepRunner
 
 DESIGN_POINTS = [(0.125, 1), (0.5, 2), (1, 4), (2, 8), (4, 16), (8, 20)]
 
 
 def main() -> None:
-    performance = sweep_design_space(DESIGN_POINTS, sizes=(16, 64), fast=True)
+    # The (design point x platform size) grid fans out over worker processes.
+    runner = SweepRunner(workers="auto")
+    performance = sweep_design_space(DESIGN_POINTS, sizes=(16, 64), fast=True, runner=runner)
     rows = []
     for row in performance:
         config = ace_config_for(row["sram_mb"], row["num_fsms"])

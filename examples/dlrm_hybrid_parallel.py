@@ -13,12 +13,14 @@ back-propagation).  This example:
 Run with:  python examples/dlrm_hybrid_parallel.py
 """
 
-from repro import build_workload, make_system, simulate_training
+from repro import SweepRunner, build_workload
 from repro.analysis.report import format_table
+from repro.runner import training_job
 from repro.units import KB
 
 NUM_NPUS = 64
 CHUNK_BYTES = 512 * KB
+SYSTEMS = ("baseline_comp_opt", "ace")
 
 
 def main() -> None:
@@ -29,17 +31,21 @@ def main() -> None:
     print(f"  all-to-all payload (fwd/bwd): {embedding.alltoall_forward_bytes / 2**20:.1f} MiB each")
     print()
 
+    # Both systems x {default, optimised} are independent: one job batch.
+    runner = SweepRunner(workers="auto")
+    jobs = [
+        training_job(name, "dlrm", num_npus=NUM_NPUS, iterations=2,
+                     chunk_bytes=CHUNK_BYTES, overlap_embedding=overlap)
+        for name in SYSTEMS
+        for overlap in (False, True)
+    ]
+    results = iter(runner.run_values(jobs))
+
     rows = []
     improvements = {}
-    for name in ("baseline_comp_opt", "ace"):
-        system = make_system(name)
-        default = simulate_training(
-            system, workload, num_npus=NUM_NPUS, iterations=2, chunk_bytes=CHUNK_BYTES
-        )
-        optimised = simulate_training(
-            system, workload, num_npus=NUM_NPUS, iterations=2, chunk_bytes=CHUNK_BYTES,
-            overlap_embedding=True,
-        )
+    for name in SYSTEMS:
+        default = next(results)
+        optimised = next(results)
         for label, result in (("default", default), ("optimized", optimised)):
             rows.append(
                 {
@@ -50,7 +56,7 @@ def main() -> None:
                     "total_us": round(result.total_time_us, 1),
                 }
             )
-        improvements[system.name] = default.total_time_ns / optimised.total_time_ns
+        improvements[default.system_name] = default.total_time_ns / optimised.total_time_ns
 
     print(format_table(rows, title=f"DLRM on {NUM_NPUS} NPUs: default vs optimised loop (Fig. 12)"))
     print()

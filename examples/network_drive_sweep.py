@@ -21,6 +21,7 @@ from repro.analysis.bandwidth import (
 )
 from repro.analysis.report import format_table
 from repro.network.topology import Torus3D
+from repro.runner import SweepRunner
 from repro.units import KB, MB
 
 TOPOLOGY = Torus3D(4, 4, 4)
@@ -29,6 +30,7 @@ CHUNK = 128 * KB
 
 
 def main() -> None:
+    runner = SweepRunner(workers="auto")
     req = analytical_memory_traffic(TOPOLOGY)
     print("Section VI-A analytical accounting on", req.topology_name)
     print(f"  bytes injected per payload byte : {req.injected_bytes_per_payload_byte:.3f}")
@@ -41,12 +43,14 @@ def main() -> None:
     print()
 
     rows = memory_bw_sweep(
-        TOPOLOGY, [64.0, 128.0, 256.0, 450.0, 900.0], payload_bytes=PAYLOAD, chunk_bytes=CHUNK
+        TOPOLOGY, [64.0, 128.0, 256.0, 450.0, 900.0], payload_bytes=PAYLOAD,
+        chunk_bytes=CHUNK, runner=runner,
     )
     print(format_table(rows, title="Fig. 5 — achieved network BW vs memory BW for communication"))
     print()
 
-    rows = sm_sweep(TOPOLOGY, [1, 2, 4, 6, 8, 16], payload_bytes=PAYLOAD, chunk_bytes=CHUNK)
+    rows = sm_sweep(TOPOLOGY, [1, 2, 4, 6, 8, 16], payload_bytes=PAYLOAD,
+                    chunk_bytes=CHUNK, runner=runner)
     print(format_table(rows, title="Fig. 6 — achieved network BW vs #SMs for communication"))
 
 

@@ -9,12 +9,13 @@ a miniature version of the paper's Fig. 11.
 Run with:  python examples/quickstart.py
 """
 
-from repro import build_workload, make_system, simulate_training
+from repro import SimJob, SweepRunner, build_workload
 from repro.analysis.report import format_table
 from repro.units import KB
 
 NUM_NPUS = 64
 CHUNK_BYTES = 256 * KB  # larger than the paper's 64 KB to keep the demo quick
+SYSTEMS = ("baseline_no_overlap", "baseline_comm_opt", "baseline_comp_opt", "ace", "ideal")
 
 
 def main() -> None:
@@ -24,12 +25,15 @@ def main() -> None:
           f"gradients={workload.total_params_bytes / 2**20:.1f} MiB per iteration")
     print()
 
-    results = {}
-    for name in ("baseline_no_overlap", "baseline_comm_opt", "baseline_comp_opt", "ace", "ideal"):
-        system = make_system(name)
-        results[name] = simulate_training(
-            system, workload, num_npus=NUM_NPUS, iterations=2, chunk_bytes=CHUNK_BYTES
-        )
+    # The five systems are independent cells, so fan them out over worker
+    # processes instead of simulating them one after another.
+    runner = SweepRunner(workers="auto")
+    jobs = [
+        SimJob(system=name, workload="resnet50", num_npus=NUM_NPUS,
+               iterations=2, chunk_bytes=CHUNK_BYTES)
+        for name in SYSTEMS
+    ]
+    results = dict(zip(SYSTEMS, runner.run_values(jobs)))
 
     rows = [r.as_row() for r in results.values()]
     print(format_table(rows, title=f"ResNet-50 on {NUM_NPUS} NPUs (2 iterations)"))

@@ -14,6 +14,7 @@ import sys
 from repro.analysis.report import format_table
 from repro.analysis.speedup import compute_speedups
 from repro.experiments.common import run_grid
+from repro.runner import SweepRunner
 
 QUICK_SIZES = (16, 64)
 FULL_SIZES = (16, 32, 64, 128)
@@ -22,8 +23,10 @@ FULL_SIZES = (16, 32, 64, 128)
 def main() -> None:
     sizes = FULL_SIZES if "--full" in sys.argv else QUICK_SIZES
     workloads = ("resnet50", "dlrm")
-    print(f"Simulating {workloads} on {sizes} NPUs, 5 system configurations each...")
-    results = run_grid(workloads=workloads, sizes=sizes, fast=True)
+    runner = SweepRunner(workers="auto")
+    print(f"Simulating {workloads} on {sizes} NPUs, 5 system configurations each "
+          f"({runner.workers} workers)...")
+    results = run_grid(workloads=workloads, sizes=sizes, fast=True, runner=runner)
 
     print()
     print(format_table([r.as_row() for r in results],

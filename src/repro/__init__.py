@@ -16,6 +16,26 @@ Quickstart
 ...     num_npus=16, iterations=2, chunk_bytes=512 * 1024)
 >>> result.iteration_time_us > 0
 True
+
+Sweeps — many independent cells — go through the parallel runner instead of
+looping over :func:`simulate_training`.  Jobs fan out over worker processes
+and completed cells are served from a content-addressed result cache:
+
+>>> from repro import SimJob, SweepRunner
+>>> runner = SweepRunner(workers=4)          # or workers="auto"
+>>> jobs = [SimJob(system=name, workload="resnet50", num_npus=16)
+...         for name in ("ace", "ideal")]
+>>> ace, ideal = runner.run_values(jobs)
+>>> ace.iteration_time_us >= ideal.iteration_time_us
+True
+
+The experiment harnesses (``repro.experiments``) accept ``runner=`` and
+default to a shared runner configured by two environment variables:
+``REPRO_WORKERS`` (worker count, ``auto`` = one per CPU, default serial) and
+``REPRO_CACHE_DIR`` (persistent on-disk result cache; unset = in-memory
+cache for the life of the process).  Cache entries are keyed by the job's
+canonical spec hash salted with ``repro.__version__``, so upgrading the
+simulator invalidates stale results automatically.
 """
 
 from repro.config import (
@@ -36,6 +56,13 @@ from repro.config import (
 )
 from repro.collectives import CollectiveOp, CollectivePlan, plan_collective
 from repro.network.topology import RingTopology, SwitchTopology, Torus3D
+from repro.runner import (
+    JobOutcome,
+    ResultCache,
+    SimJob,
+    SweepRunner,
+    default_runner,
+)
 from repro.training import TrainingLoop, TrainingResult, simulate_training
 from repro.workloads import (
     Workload,
@@ -70,6 +97,11 @@ __all__ = [
     "RingTopology",
     "SwitchTopology",
     "Torus3D",
+    "JobOutcome",
+    "ResultCache",
+    "SimJob",
+    "SweepRunner",
+    "default_runner",
     "TrainingLoop",
     "TrainingResult",
     "simulate_training",

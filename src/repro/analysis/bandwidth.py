@@ -22,8 +22,7 @@ from typing import Dict, List, Optional
 
 from repro.collectives.base import CollectiveOp
 from repro.collectives.planner import plan_collective
-from repro.config.presets import make_system
-from repro.config.system import AceConfig, ResourcePolicy, SystemConfig
+from repro.config.system import ResourcePolicy, SystemConfig
 from repro.errors import ConfigurationError
 from repro.network.topology import Torus3D
 from repro.sim.engine import Simulator
@@ -87,63 +86,68 @@ def measure_network_drive(
     )
 
 
-def _baseline_with_comm_resources(
-    memory_bw_gbps: float, comm_sms: int
-) -> SystemConfig:
-    """A baseline system whose communication path gets the given resources."""
-    base = make_system("baseline_comm_opt")
-    return base.with_overrides(
-        policy=ResourcePolicy(
-            comm_sms=comm_sms,
-            comm_memory_bandwidth_gbps=memory_bw_gbps,
-            comm_uses_npu_sms=True,
-            comm_uses_memory=True,
-        )
-    )
-
-
-def _ace_with_memory_bw(memory_bw_gbps: float) -> SystemConfig:
-    base = make_system("ace")
-    ace = AceConfig(memory_bandwidth_gbps=memory_bw_gbps)
-    return base.with_overrides(
-        ace=ace,
-        policy=ResourcePolicy(
-            comm_sms=0,
-            comm_memory_bandwidth_gbps=memory_bw_gbps,
-            comm_uses_npu_sms=False,
-            comm_uses_memory=True,
-        ),
-    )
-
-
 def memory_bw_sweep(
     topology: Torus3D,
     memory_bandwidths_gbps: List[float],
     payload_bytes: int = 64 * MB,
     chunk_bytes: Optional[int] = None,
     comm_sms_for_baseline: int = 80,
+    runner=None,
 ) -> List[Dict[str, float]]:
     """Fig. 5: achieved network BW vs memory BW available for communication.
 
     The baseline uses all SMs for communication (as in the paper's Fig. 5
     setup) so that memory bandwidth is the only bottleneck being swept; ACE
     sweeps its DMA memory-bandwidth slice; the ideal system is the horizontal
-    upper-bound line.
+    upper-bound line.  The whole sweep is dispatched as one job batch through
+    ``runner`` (the shared default runner when omitted).
     """
-    ideal = measure_network_drive(
-        make_system("ideal"), topology, payload_bytes, chunk_bytes=chunk_bytes
-    )
-    rows: List[Dict[str, float]] = []
+    # Imported here: repro.runner itself simulates through this module.
+    from repro.runner import default_runner, network_drive_job, section_overrides
+
+    runner = runner or default_runner()
+    shape = topology.shape
+    jobs = [network_drive_job("ideal", payload_bytes, topology=shape, chunk_bytes=chunk_bytes)]
     for bw in memory_bandwidths_gbps:
-        baseline = measure_network_drive(
-            _baseline_with_comm_resources(bw, comm_sms_for_baseline),
-            topology,
-            payload_bytes,
-            chunk_bytes=chunk_bytes,
+        jobs.append(
+            network_drive_job(
+                "baseline_comm_opt",
+                payload_bytes,
+                topology=shape,
+                chunk_bytes=chunk_bytes,
+                overrides=section_overrides(
+                    policy=ResourcePolicy(
+                        comm_sms=comm_sms_for_baseline,
+                        comm_memory_bandwidth_gbps=bw,
+                        comm_uses_npu_sms=True,
+                        comm_uses_memory=True,
+                    )
+                ),
+            )
         )
-        ace = measure_network_drive(
-            _ace_with_memory_bw(bw), topology, payload_bytes, chunk_bytes=chunk_bytes
+        jobs.append(
+            network_drive_job(
+                "ace",
+                payload_bytes,
+                topology=shape,
+                chunk_bytes=chunk_bytes,
+                overrides={
+                    "ace": {"memory_bandwidth_gbps": bw},
+                    "policy": {
+                        "comm_sms": 0,
+                        "comm_memory_bandwidth_gbps": bw,
+                        "comm_uses_npu_sms": False,
+                        "comm_uses_memory": True,
+                    },
+                },
+            )
         )
+    drives = runner.run_values(jobs)
+    ideal = drives[0]
+    rows: List[Dict[str, float]] = []
+    for index, bw in enumerate(memory_bandwidths_gbps):
+        baseline = drives[1 + 2 * index]
+        ace = drives[2 + 2 * index]
         rows.append(
             {
                 "memory_bw_gbps": bw,
@@ -166,20 +170,35 @@ def sm_sweep(
     payload_bytes: int = 64 * MB,
     chunk_bytes: Optional[int] = None,
     memory_bw_gbps: float = 900.0,
+    runner=None,
 ) -> List[Dict[str, float]]:
     """Fig. 6: achieved network BW vs number of SMs used for communication.
 
     All memory bandwidth is made available to communication (as in the paper),
     so the SM streaming throughput (~80 GB/s per SM) is the swept bottleneck.
     """
-    rows: List[Dict[str, float]] = []
-    for sms in sm_counts:
-        baseline = measure_network_drive(
-            _baseline_with_comm_resources(memory_bw_gbps, sms),
-            topology,
+    from repro.runner import default_runner, network_drive_job, section_overrides
+
+    runner = runner or default_runner()
+    jobs = [
+        network_drive_job(
+            "baseline_comm_opt",
             payload_bytes,
+            topology=topology.shape,
             chunk_bytes=chunk_bytes,
+            overrides=section_overrides(
+                policy=ResourcePolicy(
+                    comm_sms=sms,
+                    comm_memory_bandwidth_gbps=memory_bw_gbps,
+                    comm_uses_npu_sms=True,
+                    comm_uses_memory=True,
+                )
+            ),
         )
+        for sms in sm_counts
+    ]
+    rows: List[Dict[str, float]] = []
+    for sms, baseline in zip(sm_counts, runner.run_values(jobs)):
         rows.append(
             {
                 "comm_sms": float(sms),

@@ -12,12 +12,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from repro.config.presets import make_system
 from repro.config.system import AceConfig
 from repro.errors import ConfigurationError
-from repro.training.loop import simulate_training
 from repro.units import MB
-from repro.workloads.registry import build_workload
 
 DesignPoint = Tuple[float, int]
 
@@ -36,6 +33,7 @@ def sweep_design_space(
     reference: DesignPoint = (4, 16),
     iterations: int = 2,
     fast: bool = True,
+    runner=None,
 ) -> List[Dict[str, object]]:
     """Evaluate every design point and normalise performance to ``reference``.
 
@@ -47,26 +45,39 @@ def sweep_design_space(
     ``iterations`` are accepted for API compatibility with the full
     (training-loop based) sweep, which the same function performs when the
     caller passes ``fast=False`` workload sweeps through
-    :func:`repro.experiments.fig9_dse.run_fig9a`.
+    :func:`repro.experiments.fig9_dse.run_fig9a`.  The (design point x size)
+    grid runs as one batch through ``runner``.
     """
-    from repro.analysis.bandwidth import measure_network_drive
-    from repro.experiments.common import topology_for
+    from repro.runner import default_runner, network_drive_job
     from repro.units import KB, MB as _MB
 
     del workloads, iterations  # collective-drive proxy; see docstring
+    runner = runner or default_runner()
     points = list(dict.fromkeys([tuple(p) for p in design_points] + [tuple(reference)]))
-    mean_drive_time: Dict[DesignPoint, float] = {}
     chunk = 64 * KB
     payload = 64 * _MB if not fast else 16 * _MB
     for sram_mb, num_fsms in points:
-        system = make_system("ace", ace=ace_config_for(sram_mb, num_fsms))
+        ace_config_for(sram_mb, num_fsms)  # eager validation of the sweep points
+    jobs = [
+        network_drive_job(
+            "ace",
+            payload,
+            num_npus=num_npus,
+            chunk_bytes=chunk,
+            overrides={
+                "ace": {"sram_bytes": int(sram_mb * MB), "num_fsms": int(num_fsms)}
+            },
+        )
+        for sram_mb, num_fsms in points
+        for num_npus in sizes
+    ]
+    drives = iter(runner.run_values(jobs))
+    mean_drive_time: Dict[DesignPoint, float] = {}
+    for sram_mb, num_fsms in points:
         product = 1.0
         count = 0
-        for num_npus in sizes:
-            result = measure_network_drive(
-                system, topology_for(num_npus), payload, chunk_bytes=chunk
-            )
-            product *= result.duration_ns
+        for _ in sizes:
+            product *= next(drives).duration_ns
             count += 1
         mean_drive_time[(sram_mb, num_fsms)] = product ** (1.0 / count)
 

@@ -6,6 +6,12 @@ aligned table.  The ``fast`` flag trades sweep breadth for runtime and is what
 the pytest-benchmark harness uses; passing ``fast=False`` reproduces the full
 paper-scale sweep.
 
+Every harness expresses its sweep as :class:`repro.runner.SimJob` batches and
+accepts an optional ``runner=`` (a :class:`repro.runner.SweepRunner`) to
+parallelise the grid over worker processes and reuse cached cells; when
+omitted, the shared default runner (``REPRO_WORKERS`` / ``REPRO_CACHE_DIR``)
+is used.
+
 ========  ==============================================================
 Module    Paper artifact
 ========  ==============================================================

@@ -1,15 +1,23 @@
-"""Shared helpers for the experiment harnesses."""
+"""Shared helpers for the experiment harnesses.
+
+Every harness expresses its sweep as a batch of :class:`~repro.runner.SimJob`
+specs and executes it through a :class:`~repro.runner.SweepRunner`, so the
+full evaluation grid parallelises across worker processes and overlapping
+sweeps (the same cell appearing in several figures) are served from the
+result cache.  Harnesses accept an optional ``runner``; when omitted they
+share :func:`repro.runner.default_runner`, which is configured with the
+``REPRO_WORKERS`` / ``REPRO_CACHE_DIR`` environment variables.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.config.presets import make_system, torus_shape_for_npus
+from repro.config.presets import torus_shape_for_npus
 from repro.network.topology import Torus3D, torus_from_shape
-from repro.training.loop import simulate_training
+from repro.runner import SimJob, SweepRunner, default_runner
 from repro.training.results import TrainingResult
 from repro.units import KB
-from repro.workloads.registry import build_workload
 
 #: Chunk sizes used by the fast experiment mode, per workload.  Larger chunks
 #: keep the event count (and therefore wall-clock time) manageable without
@@ -42,6 +50,34 @@ def chunk_bytes_for(workload_name: str, fast: bool) -> Optional[int]:
     return FAST_CHUNK_BYTES.get(workload_name, 256 * KB)
 
 
+def grid_jobs(
+    systems: Sequence[str] = PAPER_SYSTEMS,
+    workloads: Sequence[str] = ("resnet50", "gnmt", "dlrm"),
+    sizes: Sequence[int] = (16, 32, 64, 128),
+    iterations: int = 2,
+    fast: bool = True,
+    overlap_embedding: bool = False,
+) -> List[SimJob]:
+    """Job specs for every (system, workload, size) grid cell, in grid order."""
+    jobs: List[SimJob] = []
+    for workload_name in workloads:
+        chunk = chunk_bytes_for(workload_name, fast)
+        for num_npus in sizes:
+            for system_name in systems:
+                jobs.append(
+                    SimJob(
+                        kind="training",
+                        system=system_name,
+                        workload=workload_name,
+                        num_npus=num_npus,
+                        iterations=iterations,
+                        chunk_bytes=chunk,
+                        overlap_embedding=overlap_embedding,
+                    )
+                )
+    return jobs
+
+
 def run_grid(
     systems: Sequence[str] = PAPER_SYSTEMS,
     workloads: Sequence[str] = ("resnet50", "gnmt", "dlrm"),
@@ -49,26 +85,20 @@ def run_grid(
     iterations: int = 2,
     fast: bool = True,
     overlap_embedding: bool = False,
+    runner: Optional[SweepRunner] = None,
 ) -> List[TrainingResult]:
     """Simulate every (system, workload, size) combination and return results."""
-    results: List[TrainingResult] = []
-    for workload_name in workloads:
-        workload = build_workload(workload_name)
-        chunk = chunk_bytes_for(workload_name, fast)
-        for num_npus in sizes:
-            for system_name in systems:
-                system = make_system(system_name)
-                results.append(
-                    simulate_training(
-                        system,
-                        workload,
-                        num_npus=num_npus,
-                        iterations=iterations,
-                        chunk_bytes=chunk,
-                        overlap_embedding=overlap_embedding,
-                    )
-                )
-    return results
+    runner = runner or default_runner()
+    return runner.run_values(
+        grid_jobs(
+            systems=systems,
+            workloads=workloads,
+            sizes=sizes,
+            iterations=iterations,
+            fast=fast,
+            overlap_embedding=overlap_embedding,
+        )
+    )
 
 
 def results_to_rows(results: Iterable[TrainingResult]) -> List[Dict[str, object]]:

@@ -11,14 +11,12 @@ configuration reaches).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table
-from repro.config.presets import make_system
-from repro.experiments.common import chunk_bytes_for, topology_for
-from repro.training.loop import simulate_training
+from repro.experiments.common import chunk_bytes_for
+from repro.runner import SweepRunner, default_runner, training_job
 from repro.training.results import TrainingResult
-from repro.workloads.registry import build_workload
 
 #: Systems plotted in Fig. 10 (columns a-d).
 FIG10_SYSTEMS = ("baseline_comm_opt", "baseline_comp_opt", "ace", "ideal")
@@ -29,24 +27,29 @@ def run_fig10(
     workloads: Sequence[str] = ("resnet50", "gnmt", "dlrm"),
     num_npus: int = 128,
     iterations: int = 2,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, object]]:
     """Summary rows (one per system x workload) of the Fig. 10 timelines."""
+    runner = runner or default_runner()
     if fast:
         num_npus = min(num_npus, 64)
         workloads = tuple(workloads)[:2] if len(workloads) > 2 else workloads
-    topology = topology_for(num_npus)
-    results: Dict[tuple, TrainingResult] = {}
-    for workload_name in workloads:
-        workload = build_workload(workload_name)
-        chunk = chunk_bytes_for(workload_name, fast)
-        for system_name in FIG10_SYSTEMS:
-            results[(workload_name, system_name)] = simulate_training(
-                make_system(system_name),
-                workload,
-                num_npus=topology,
-                iterations=iterations,
-                chunk_bytes=chunk,
-            )
+    keys = [
+        (workload_name, system_name)
+        for workload_name in workloads
+        for system_name in FIG10_SYSTEMS
+    ]
+    jobs = [
+        training_job(
+            system_name,
+            workload_name,
+            num_npus=num_npus,
+            iterations=iterations,
+            chunk_bytes=chunk_bytes_for(workload_name, fast),
+        )
+        for workload_name, system_name in keys
+    ]
+    results: Dict[tuple, TrainingResult] = dict(zip(keys, runner.run_values(jobs)))
     rows: List[Dict[str, object]] = []
     for (workload_name, system_name), result in results.items():
         ideal = results[(workload_name, "ideal")]
@@ -80,16 +83,20 @@ def timeline_series(
     num_npus: int = 128,
     fast: bool = True,
     iterations: int = 2,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, List[tuple]]:
     """The raw (time, utilization) series for one Fig. 10 panel."""
+    runner = runner or default_runner()
     if fast:
         num_npus = min(num_npus, 64)
-    result = simulate_training(
-        make_system(system_name),
-        build_workload(workload_name),
-        num_npus=topology_for(num_npus),
-        iterations=iterations,
-        chunk_bytes=chunk_bytes_for(workload_name, fast),
+    result = runner.run_one(
+        training_job(
+            system_name,
+            workload_name,
+            num_npus=num_npus,
+            iterations=iterations,
+            chunk_bytes=chunk_bytes_for(workload_name, fast),
+        )
     )
     return {
         "compute": result.compute_utilization_series,
@@ -97,9 +104,9 @@ def timeline_series(
     }
 
 
-def main(fast: bool = True) -> str:
+def main(fast: bool = True, runner: Optional[SweepRunner] = None) -> str:
     table = format_table(
-        run_fig10(fast=fast),
+        run_fig10(fast=fast, runner=runner),
         title="Fig. 10 — compute/communication overlap summary (2 iterations)",
     )
     print(table)

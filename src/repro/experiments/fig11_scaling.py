@@ -16,11 +16,12 @@ The headline shapes being reproduced:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table
 from repro.analysis.speedup import compute_speedups
 from repro.experiments.common import PAPER_SYSTEMS, run_grid
+from repro.runner import SweepRunner
 from repro.training.results import TrainingResult
 
 PAPER_SIZES = (16, 32, 64, 128)
@@ -35,6 +36,7 @@ def run_fig11(
     workloads: Sequence[str] = None,
     sizes: Sequence[int] = None,
     iterations: int = 2,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, List[Dict[str, object]]]:
     """Run the scaling grid; returns {'breakdown': fig11a rows, 'speedups': fig11b rows}."""
     workloads = workloads or (FAST_WORKLOADS if fast else PAPER_WORKLOADS)
@@ -45,6 +47,7 @@ def run_fig11(
         sizes=sizes,
         iterations=iterations,
         fast=fast,
+        runner=runner,
     )
     breakdown_rows = [
         {
@@ -74,8 +77,8 @@ def run_fig11(
     return {"breakdown": breakdown_rows, "speedups": speedup_rows}
 
 
-def main(fast: bool = True) -> str:
-    data = run_fig11(fast=fast)
+def main(fast: bool = True, runner: Optional[SweepRunner] = None) -> str:
+    data = run_fig11(fast=fast, runner=runner)
     table_a = format_table(
         data["breakdown"],
         title="Fig. 11a — total compute vs exposed communication (2 iterations)",

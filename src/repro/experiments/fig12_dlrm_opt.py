@@ -14,13 +14,11 @@ ACE converts the saving directly into iteration time — the paper reports
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table
-from repro.config.presets import make_system
-from repro.experiments.common import chunk_bytes_for, topology_for
-from repro.training.loop import simulate_training
-from repro.workloads.registry import build_workload
+from repro.experiments.common import chunk_bytes_for
+from repro.runner import SweepRunner, default_runner, training_job
 
 FIG12_SYSTEMS = ("baseline_comp_opt", "ace")
 
@@ -30,27 +28,30 @@ def run_fig12(
     num_npus: int = 128,
     iterations: int = 2,
     systems: Sequence[str] = FIG12_SYSTEMS,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, object]]:
     """Default vs optimised DLRM training loop for the baseline and ACE."""
+    runner = runner or default_runner()
     if fast:
         num_npus = min(num_npus, 64)
-    topology = topology_for(num_npus)
-    workload = build_workload("dlrm")
     chunk = chunk_bytes_for("dlrm", fast)
-    rows: List[Dict[str, object]] = []
-    for system_name in systems:
-        system = make_system(system_name)
-        default = simulate_training(
-            system, workload, num_npus=topology, iterations=iterations, chunk_bytes=chunk
-        )
-        optimised = simulate_training(
-            system,
-            workload,
-            num_npus=topology,
+    jobs = [
+        training_job(
+            system_name,
+            "dlrm",
+            num_npus=num_npus,
             iterations=iterations,
             chunk_bytes=chunk,
-            overlap_embedding=True,
+            overlap_embedding=overlap,
         )
+        for system_name in systems
+        for overlap in (False, True)
+    ]
+    results = iter(runner.run_values(jobs))
+    rows: List[Dict[str, object]] = []
+    for system_name in systems:
+        default = next(results)
+        optimised = next(results)
         for label, result in (("default", default), ("optimized", optimised)):
             rows.append(
                 {
@@ -64,7 +65,7 @@ def run_fig12(
             )
         rows.append(
             {
-                "system": system.name,
+                "system": default.system_name,
                 "loop": "improvement",
                 "npus": num_npus,
                 "total_compute_us": 0.0,
@@ -75,9 +76,9 @@ def run_fig12(
     return rows
 
 
-def main(fast: bool = True) -> str:
+def main(fast: bool = True, runner: Optional[SweepRunner] = None) -> str:
     table = format_table(
-        run_fig12(fast=fast),
+        run_fig12(fast=fast, runner=runner),
         title="Fig. 12 — DLRM default vs optimised training loop "
         "(the 'improvement' rows give the speedup ratio in the total_time_us column)",
     )

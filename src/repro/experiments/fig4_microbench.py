@@ -17,15 +17,14 @@ than compute-bound GEMMs of comparable size.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.analysis.bandwidth import measure_network_drive
 from repro.analysis.report import format_table
 from repro.compute.kernels import KernelCost
 from repro.compute.roofline import RooflineModel
 from repro.config.presets import make_system
 from repro.config.system import NetworkConfig, ResourcePolicy, SystemConfig
-from repro.network.topology import Torus3D
+from repro.runner import SweepRunner, default_runner, network_drive_job, section_overrides
 from repro.units import MB
 from repro.workloads import microbench
 
@@ -36,21 +35,36 @@ _V100_NET = NetworkConfig(
     intra_package_links=2,
     link_efficiency=1.0,
 )
-_V100_TOPOLOGY = Torus3D(8, 1, 1)
+_V100_TOPOLOGY = (8, 1, 1)
 #: Communication resources NCCL typically uses when running alone.
 _STANDALONE_SMS = 8
 _STANDALONE_MEM_BW = 600.0
 
 
+def _v100_policy(comm_sms: int, comm_mem_bw: float) -> ResourcePolicy:
+    return ResourcePolicy(
+        comm_sms=comm_sms,
+        comm_memory_bandwidth_gbps=comm_mem_bw,
+        comm_uses_npu_sms=True,
+        comm_uses_memory=True,
+    )
+
+
 def _v100_baseline(comm_sms: int, comm_mem_bw: float) -> SystemConfig:
     base = make_system("baseline_comm_opt", network=_V100_NET)
-    return base.with_overrides(
-        policy=ResourcePolicy(
-            comm_sms=comm_sms,
-            comm_memory_bandwidth_gbps=comm_mem_bw,
-            comm_uses_npu_sms=True,
-            comm_uses_memory=True,
-        )
+    return base.with_overrides(policy=_v100_policy(comm_sms, comm_mem_bw))
+
+
+def _v100_job(comm_sms: int, comm_mem_bw: float, payload_bytes: int, chunk: int):
+    """A network-drive job on the Fig. 4 testbed with the given comm resources."""
+    return network_drive_job(
+        "baseline_comm_opt",
+        payload_bytes,
+        topology=_V100_TOPOLOGY,
+        chunk_bytes=chunk,
+        overrides=section_overrides(
+            network=_V100_NET, policy=_v100_policy(comm_sms, comm_mem_bw)
+        ),
     )
 
 
@@ -82,33 +96,44 @@ def _contended_resources(compute: KernelCost, system: SystemConfig) -> Dict[str,
     return {"comm_sms": free_sms, "comm_mem_bw": free_mem, "compute_duration_ns": duration}
 
 
-def run_fig4(fast: bool = True) -> List[Dict[str, object]]:
+def run_fig4(
+    fast: bool = True, runner: Optional[SweepRunner] = None
+) -> List[Dict[str, object]]:
     """Compute the all-reduce slowdown for every Fig. 4 microbenchmark case."""
+    runner = runner or default_runner()
     cases = list(microbench.fig4a_cases())
     if not fast:
         cases += list(microbench.dlrm_replay_cases())
     chunk = 256 * 1024 if fast else 64 * 1024
-    rows: List[Dict[str, object]] = []
-    standalone_cache: Dict[int, float] = {}
-    for case in cases:
-        if case.allreduce_bytes not in standalone_cache:
-            system = _v100_baseline(_STANDALONE_SMS, _STANDALONE_MEM_BW)
-            result = measure_network_drive(
-                system, _V100_TOPOLOGY, case.allreduce_bytes, chunk_bytes=chunk
-            )
-            standalone_cache[case.allreduce_bytes] = result.duration_ns
-        standalone_ns = standalone_cache[case.allreduce_bytes]
 
-        contended = _contended_resources(case.compute, _v100_baseline(8, 600.0))
-        system = _v100_baseline(int(contended["comm_sms"]), contended["comm_mem_bw"])
-        contended_result = measure_network_drive(
-            system, _V100_TOPOLOGY, case.allreduce_bytes, chunk_bytes=chunk
-        )
+    # One standalone drive per distinct payload plus one contended drive per
+    # case, all dispatched as a single batch.
+    standalone_payloads = list(dict.fromkeys(case.allreduce_bytes for case in cases))
+    contended = [
+        _contended_resources(case.compute, _v100_baseline(8, 600.0)) for case in cases
+    ]
+    jobs = [
+        _v100_job(_STANDALONE_SMS, _STANDALONE_MEM_BW, payload, chunk)
+        for payload in standalone_payloads
+    ] + [
+        _v100_job(int(c["comm_sms"]), c["comm_mem_bw"], case.allreduce_bytes, chunk)
+        for case, c in zip(cases, contended)
+    ]
+    drives = runner.run_values(jobs)
+    standalone_ns_for = {
+        payload: drive.duration_ns
+        for payload, drive in zip(standalone_payloads, drives)
+    }
+    contended_results = drives[len(standalone_payloads):]
+
+    rows: List[Dict[str, object]] = []
+    for case, resources, contended_result in zip(cases, contended, contended_results):
+        standalone_ns = standalone_ns_for[case.allreduce_bytes]
         # The microbenchmark posts the compute kernel twice around the
         # all-reduce, so the collective only runs contended while the compute
         # kernels are actually executing; afterwards it finishes at the
         # standalone rate.
-        compute_window_ns = 2.0 * contended["compute_duration_ns"]
+        compute_window_ns = 2.0 * resources["compute_duration_ns"]
         contended_rate = case.allreduce_bytes / contended_result.duration_ns
         standalone_rate = case.allreduce_bytes / standalone_ns
         if contended_result.duration_ns <= compute_window_ns:
@@ -131,8 +156,8 @@ def run_fig4(fast: bool = True) -> List[Dict[str, object]]:
     return rows
 
 
-def main(fast: bool = True) -> str:
-    rows = run_fig4(fast=fast)
+def main(fast: bool = True, runner: Optional[SweepRunner] = None) -> str:
+    rows = run_fig4(fast=fast, runner=runner)
     table = format_table(
         rows,
         ["case", "compute_kind", "allreduce_mb", "standalone_us", "overlapped_us", "slowdown"],

@@ -16,11 +16,12 @@ check the measured sweep.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.bandwidth import analytical_memory_traffic, memory_bw_sweep
 from repro.analysis.report import format_table
 from repro.experiments.common import topology_for
+from repro.runner import SweepRunner
 from repro.units import KB, MB
 
 #: Memory bandwidths swept in the paper's Fig. 5 (GB/s).
@@ -32,6 +33,7 @@ def run_fig5(
     fast: bool = True,
     sizes: Sequence[int] = (16, 64),
     payload_bytes: int = 64 * MB,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, object]]:
     """Run the memory-bandwidth sweep for each platform size."""
     points = FAST_MEMORY_BW_POINTS if fast else PAPER_MEMORY_BW_POINTS
@@ -45,6 +47,7 @@ def run_fig5(
                 list(points),
                 payload_bytes=payload_bytes,
                 chunk_bytes=chunk,
+                runner=runner,
             )
         )
     return rows
@@ -68,9 +71,9 @@ def run_section6a_analysis(sizes: Sequence[int] = (16, 64, 128)) -> List[Dict[st
     return rows
 
 
-def main(fast: bool = True) -> str:
+def main(fast: bool = True, runner: Optional[SweepRunner] = None) -> str:
     sweep = format_table(
-        run_fig5(fast=fast),
+        run_fig5(fast=fast, runner=runner),
         [
             "npus",
             "memory_bw_gbps",

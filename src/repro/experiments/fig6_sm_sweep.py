@@ -10,11 +10,12 @@ justification for the BaselineCommOpt allocation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.bandwidth import sm_sweep
 from repro.analysis.report import format_table
 from repro.experiments.common import topology_for
+from repro.runner import SweepRunner
 from repro.units import KB, MB
 
 #: SM-count points of Fig. 6 (expressed as absolute counts out of 80).
@@ -26,6 +27,7 @@ def run_fig6(
     fast: bool = True,
     sizes: Sequence[int] = (16, 64),
     payload_bytes: int = 64 * MB,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, object]]:
     """Run the SM sweep for each platform size."""
     points = FAST_SM_POINTS if fast else PAPER_SM_POINTS
@@ -39,14 +41,15 @@ def run_fig6(
                 list(points),
                 payload_bytes=payload_bytes,
                 chunk_bytes=chunk,
+                runner=runner,
             )
         )
     return rows
 
 
-def main(fast: bool = True) -> str:
+def main(fast: bool = True, runner: Optional[SweepRunner] = None) -> str:
     table = format_table(
-        run_fig6(fast=fast),
+        run_fig6(fast=fast, runner=runner),
         ["npus", "comm_sms", "baseline_net_bw_gbps", "memory_read_bw_gbps"],
         title="Fig. 6 — achieved network BW vs #SMs available for communication (baseline)",
     )

@@ -14,16 +14,12 @@ and ~90 % during back-propagation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
-from repro.config.presets import make_system
-from repro.config.system import AceConfig
 from repro.core.dse import sweep_design_space
-from repro.experiments.common import chunk_bytes_for, topology_for
-from repro.training.loop import simulate_training
-from repro.units import MB
-from repro.workloads.registry import build_workload
+from repro.experiments.common import chunk_bytes_for
+from repro.runner import SweepRunner, default_runner, training_job
 
 #: (SRAM MB, #FSM) points of the paper's Fig. 9a sweep.
 PAPER_DESIGN_POINTS: Tuple[Tuple[float, int], ...] = (
@@ -46,6 +42,7 @@ def run_fig9a(
     fast: bool = True,
     workloads: Sequence[str] = ("resnet50",),
     sizes: Sequence[int] = (16,),
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, object]]:
     """Run the SRAM/FSM design-space sweep and normalise to (4 MB, 16 FSMs)."""
     points = list(FAST_DESIGN_POINTS if fast else PAPER_DESIGN_POINTS)
@@ -57,6 +54,7 @@ def run_fig9a(
         sizes=sizes,
         reference=REFERENCE_POINT,
         fast=fast,
+        runner=runner,
     )
 
 
@@ -64,39 +62,40 @@ def run_fig9b(
     fast: bool = True,
     workloads: Sequence[str] = ("resnet50", "gnmt", "dlrm"),
     num_npus: int = 128,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, object]]:
     """ACE utilization during forward vs backward pass for each workload."""
+    runner = runner or default_runner()
     if fast:
         num_npus = min(num_npus, 64)
-    rows: List[Dict[str, object]] = []
-    system = make_system("ace")
-    for name in workloads:
-        workload = build_workload(name)
-        result = simulate_training(
-            system,
-            workload,
-            num_npus=topology_for(num_npus),
+    jobs = [
+        training_job(
+            "ace",
+            name,
+            num_npus=num_npus,
             iterations=2,
             chunk_bytes=chunk_bytes_for(name, fast),
         )
-        rows.append(
-            {
-                "workload": name,
-                "npus": num_npus,
-                "ace_util_forward": result.endpoint_utilization_forward,
-                "ace_util_backward": result.endpoint_utilization_backward,
-            }
-        )
-    return rows
+        for name in workloads
+    ]
+    return [
+        {
+            "workload": name,
+            "npus": num_npus,
+            "ace_util_forward": result.endpoint_utilization_forward,
+            "ace_util_backward": result.endpoint_utilization_backward,
+        }
+        for name, result in zip(workloads, runner.run_values(jobs))
+    ]
 
 
-def main(fast: bool = True) -> str:
+def main(fast: bool = True, runner: Optional[SweepRunner] = None) -> str:
     table_a = format_table(
-        run_fig9a(fast=fast),
+        run_fig9a(fast=fast, runner=runner),
         title="Fig. 9a — ACE performance vs SRAM size and #FSMs (normalised to 4MB/16FSM)",
     )
     table_b = format_table(
-        run_fig9b(fast=fast),
+        run_fig9b(fast=fast, runner=runner),
         title="Fig. 9b — ACE utilization in forward vs backward pass",
     )
     output = table_a + "\n\n" + table_b

@@ -2,35 +2,31 @@
 
 Rolls up the per-component area/power model (calibrated to the paper's 28 nm
 synthesis results) for the shipped ACE configuration and checks the "<2 % of a
-high-end training accelerator" overhead claim.
+high-end training accelerator" overhead claim.  The roll-up runs as an
+``area_power`` job so its rows land in the shared result cache like every
+other experiment cell.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.report import format_table
 from repro.config.system import AceConfig
-from repro.core.area_power import AceAreaPowerModel
+from repro.runner import SweepRunner, area_power_job, default_runner
 
 
-def run_table4(config: AceConfig = None) -> List[Dict[str, object]]:
+def run_table4(
+    config: AceConfig = None, runner: Optional[SweepRunner] = None
+) -> List[Dict[str, object]]:
     """Return the Table IV rows plus the overhead-vs-accelerator summary."""
-    model = AceAreaPowerModel(config or AceConfig())
-    rows = model.as_table()
-    rows.append(
-        {
-            "component": "Overhead vs training accelerator",
-            "area_um2": 100.0 * model.area_overhead_fraction(),
-            "power_mw": 100.0 * model.power_overhead_fraction(),
-        }
-    )
-    return rows
+    runner = runner or default_runner()
+    return runner.run_one(area_power_job(config))
 
 
-def main() -> str:
+def main(runner: Optional[SweepRunner] = None) -> str:
     table = format_table(
-        run_table4(),
+        run_table4(runner=runner),
         ["component", "area_um2", "power_mw"],
         title="Table IV — ACE area (um^2) and power (mW); last row is % overhead",
     )

@@ -1,0 +1,186 @@
+"""Content-addressed result cache for simulation jobs.
+
+Entries are keyed by :meth:`SimJob.spec_hash` — a SHA-256 over the job's
+canonical JSON salted with ``repro.__version__`` — so a re-run of a figure or
+an overlapping sweep skips every already-simulated cell, and upgrading the
+simulator invalidates stale results automatically.
+
+Two backends share one interface:
+
+* **memory** (the default, ``directory=None``) — deduplicates within one
+  process; used by the default runner so independent figure harnesses share
+  results for free.
+* **disk** (``directory=...``) — persists encoded results as one JSON file
+  per entry.  Set the ``REPRO_CACHE_DIR`` environment variable to give the
+  default runner a persistent cache.  Corrupted or mismatched entries are
+  detected, counted, deleted, and treated as misses.
+
+The cache stores *encoded* payloads (see :mod:`repro.runner.serialization`);
+the runner decodes a fresh object per lookup so cached results are never
+shared mutable state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.runner.job import SimJob
+
+#: Environment variable naming the on-disk cache directory for the default runner.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_ENTRY_SCHEMA = 1
+
+
+class ResultCache:
+    """Spec-hash keyed store of encoded simulation results."""
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        version: Optional[str] = None,
+    ) -> None:
+        if version is None:
+            import repro
+
+            version = repro.__version__
+        self.version = version
+        self.directory = (
+            Path(directory).expanduser() if directory is not None else None
+        )
+        if self.directory is not None:
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise ConfigurationError(
+                    f"cannot use {self.directory} as a result-cache directory "
+                    f"(check the {CACHE_DIR_ENV} environment variable): {exc}"
+                ) from None
+        self._memory: Dict[str, Dict[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.corrupted = 0
+
+    # ------------------------------------------------------------------
+    # Core interface
+    # ------------------------------------------------------------------
+    def key_for(self, job: SimJob) -> str:
+        return job.spec_hash(self.version)
+
+    def lookup(self, job: SimJob, key: Optional[str] = None) -> Optional[Dict[str, object]]:
+        """The encoded payload for ``job``, or ``None`` on a miss.
+
+        ``key`` lets callers that already computed :meth:`key_for` skip a
+        redundant canonicalize-and-hash pass.
+        """
+        key = key or self.key_for(job)
+        payload = self._memory.get(key)
+        if payload is None and self.directory is not None:
+            payload = self._load_from_disk(key, job)
+            if payload is not None:
+                self._memory[key] = payload
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(
+        self, job: SimJob, payload: Dict[str, object], key: Optional[str] = None
+    ) -> None:
+        """Record the encoded result payload for ``job``."""
+        key = key or self.key_for(job)
+        self._memory[key] = payload
+        if self.directory is not None:
+            entry = {
+                "schema": _ENTRY_SCHEMA,
+                "version": self.version,
+                "job": job.to_dict(),
+                "result": payload,
+            }
+            path = self._path_for(key)
+            # Write-then-rename so concurrent runners never observe a
+            # half-written entry.
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.directory), prefix=f".{key[:16]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupted": self.corrupted,
+            "entries": len(self),
+        }
+
+    def __len__(self) -> int:
+        if self.directory is not None:
+            return len(list(self.directory.glob("*.json")))
+        return len(self._memory)
+
+    def clear(self) -> None:
+        """Drop every entry (and reset nothing else — counters persist)."""
+        self._memory.clear()
+        if self.directory is not None:
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------
+    # Disk backend
+    # ------------------------------------------------------------------
+    def _path_for(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def _load_from_disk(self, key: str, job: SimJob) -> Optional[Dict[str, object]]:
+        path = self._path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry["schema"] != _ENTRY_SCHEMA:
+                raise ValueError(f"unsupported cache schema {entry['schema']!r}")
+            if entry["version"] != self.version:
+                raise ValueError("cache entry version mismatch")
+            if entry["job"] != job.to_dict():
+                raise ValueError("cache entry does not match the requested job")
+            result = entry["result"]
+            if not isinstance(result, dict):
+                raise ValueError("cache entry result is not an object")
+            return result
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupted, truncated, or stale entry: drop it and re-simulate.
+            self.corrupted += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+
+def cache_from_env() -> ResultCache:
+    """A cache honouring ``REPRO_CACHE_DIR`` (memory-backed when unset)."""
+    return ResultCache(directory=os.environ.get(CACHE_DIR_ENV) or None)

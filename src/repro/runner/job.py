@@ -1,0 +1,351 @@
+"""Simulation job specifications.
+
+A :class:`SimJob` captures one simulation request — the system preset plus
+configuration overrides, the workload, the platform size, and the chunking /
+iteration parameters — as a frozen, hashable, JSON-serializable dataclass.
+Two jobs describing the same simulation canonicalise to the same JSON and
+therefore the same spec hash, which is what :class:`~repro.runner.cache.ResultCache`
+keys on.
+
+Three job kinds cover every experiment in the paper's evaluation:
+
+* ``training`` — a full training-loop co-simulation
+  (:func:`repro.training.loop.simulate_training`); Figs. 9b-12.
+* ``network_drive`` — a single large collective driven through the fabric in
+  isolation (:func:`repro.analysis.bandwidth.measure_network_drive`);
+  Figs. 4-6 and the Fig. 9a design-space sweep.
+* ``area_power`` — the Table IV area/power roll-up of an ACE configuration
+  (:class:`repro.core.area_power.AceAreaPowerModel`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.analysis.bandwidth import measure_network_drive
+from repro.collectives.base import CollectiveOp
+from repro.config.presets import make_system
+from repro.config.system import AceConfig, SystemConfig
+from repro.core.area_power import AceAreaPowerModel
+from repro.errors import ConfigurationError
+from repro.network.topology import Torus3D, torus_from_shape
+from repro.training.loop import simulate_training
+from repro.workloads.registry import build_workload
+
+JOB_KINDS = ("training", "network_drive", "area_power")
+
+#: Override sections that map onto the nested :class:`SystemConfig` dataclasses.
+_CONFIG_SECTIONS = ("compute", "memory", "network", "ace", "policy")
+#: Top-level scalar SystemConfig fields that may be overridden directly.
+_CONFIG_SCALARS = ("name", "collective_scheduling", "collective_launch_overhead_ns")
+
+
+def _normalize_overrides(overrides: Mapping[str, object]) -> Dict[str, object]:
+    """Validate and deep-copy an overrides mapping into plain JSON types."""
+    normalized: Dict[str, object] = {}
+    for key, value in overrides.items():
+        if key in _CONFIG_SECTIONS:
+            if not isinstance(value, Mapping):
+                raise ConfigurationError(
+                    f"override section {key!r} must be a mapping of field -> value, "
+                    f"got {type(value).__name__}"
+                )
+            section: Dict[str, object] = {}
+            for name, item in value.items():
+                if not isinstance(name, str):
+                    raise ConfigurationError(
+                        f"override field names in section {key!r} must be strings"
+                    )
+                if not isinstance(item, (int, float, bool, str)):
+                    raise ConfigurationError(
+                        f"override {key}.{name} must be a scalar, got {type(item).__name__}"
+                    )
+                section[name] = item
+            normalized[key] = section
+        elif key in _CONFIG_SCALARS:
+            if not isinstance(value, (int, float, str)):
+                raise ConfigurationError(
+                    f"override {key!r} must be a scalar, got {type(value).__name__}"
+                )
+            normalized[key] = value
+        else:
+            raise ConfigurationError(
+                f"unknown override section {key!r}; expected one of "
+                f"{sorted(_CONFIG_SECTIONS + _CONFIG_SCALARS)}"
+            )
+    return normalized
+
+
+def section_overrides(**configs) -> Dict[str, Dict[str, object]]:
+    """Build an overrides mapping from config dataclass instances.
+
+    >>> section_overrides(network=NetworkConfig(link_efficiency=1.0))
+    {'network': {...'link_efficiency': 1.0...}}
+    """
+    out: Dict[str, Dict[str, object]] = {}
+    for section, config in configs.items():
+        if section not in _CONFIG_SECTIONS:
+            raise ConfigurationError(f"unknown config section {section!r}")
+        out[section] = asdict(config)
+    return out
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation request, fully described by value.
+
+    The spec is deliberately built from plain JSON types (strings, numbers,
+    bools, dicts, and an ``(L, V, H)`` tuple) so that the canonical JSON form
+    — and hence :meth:`spec_hash` — is stable across processes and sessions.
+    """
+
+    kind: str = "training"
+    #: System preset name accepted by :func:`repro.config.presets.make_system`.
+    system: str = "ace"
+    #: Per-section field overrides applied on top of the preset, e.g.
+    #: ``{"ace": {"sram_bytes": 2097152}, "policy": {"comm_sms": 4}}``.
+    overrides: Mapping[str, object] = field(default_factory=dict)
+    #: Platform size; resolved to the paper's canonical torus shape.
+    num_npus: Optional[int] = None
+    #: Explicit ``(L, V, H)`` torus shape; takes precedence over ``num_npus``.
+    topology: Optional[Tuple[int, int, int]] = None
+    chunk_bytes: Optional[int] = None
+    # -- training jobs ---------------------------------------------------
+    workload: Optional[str] = None
+    iterations: int = 2
+    overlap_embedding: bool = False
+    # -- network-drive jobs ----------------------------------------------
+    payload_bytes: Optional[int] = None
+    op: str = CollectiveOp.ALL_REDUCE.value
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ConfigurationError(
+                f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}"
+            )
+        object.__setattr__(self, "overrides", _normalize_overrides(self.overrides))
+        if self.topology is not None:
+            shape = tuple(int(s) for s in self.topology)
+            if len(shape) != 3:
+                raise ConfigurationError(
+                    f"topology must be an (L, V, H) triple, got {self.topology!r}"
+                )
+            object.__setattr__(self, "topology", shape)
+        if self.kind in ("training", "network_drive"):
+            if self.topology is None and self.num_npus is None:
+                raise ConfigurationError(
+                    f"{self.kind} jobs need either num_npus or an explicit topology"
+                )
+            if self.chunk_bytes is not None and self.chunk_bytes <= 0:
+                raise ConfigurationError("chunk_bytes must be positive")
+        if self.kind == "training":
+            if not self.workload:
+                raise ConfigurationError("training jobs need a workload name")
+            if self.iterations <= 0:
+                raise ConfigurationError("iterations must be positive")
+        if self.kind == "network_drive":
+            if self.payload_bytes is None or self.payload_bytes <= 0:
+                raise ConfigurationError("network_drive jobs need a positive payload_bytes")
+            try:
+                CollectiveOp(self.op)
+            except ValueError:
+                raise ConfigurationError(
+                    f"unknown collective op {self.op!r}; expected one of "
+                    f"{[o.value for o in CollectiveOp]}"
+                ) from None
+
+    # ------------------------------------------------------------------
+    # Canonical serialization and hashing
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON dictionary with every field present (stable schema)."""
+        return {
+            "kind": self.kind,
+            "system": self.system,
+            "overrides": {k: dict(v) if isinstance(v, dict) else v
+                          for k, v in self.overrides.items()},
+            "num_npus": self.num_npus,
+            "topology": list(self.topology) if self.topology is not None else None,
+            "chunk_bytes": self.chunk_bytes,
+            "workload": self.workload,
+            "iterations": self.iterations,
+            "overlap_embedding": self.overlap_embedding,
+            "payload_bytes": self.payload_bytes,
+            "op": self.op,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, compact separators — hash-stable."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SimJob":
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(f"unknown SimJob fields: {sorted(unknown)}")
+        if kwargs.get("topology") is not None:
+            kwargs["topology"] = tuple(kwargs["topology"])
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "SimJob":
+        return cls.from_dict(json.loads(payload))
+
+    def spec_hash(self, version: Optional[str] = None) -> str:
+        """Stable content hash of this spec, salted with the package version.
+
+        Any released change to the simulator bumps ``repro.__version__`` and
+        thereby invalidates every cached result.
+        """
+        if version is None:
+            import repro
+
+            version = repro.__version__
+        digest = hashlib.sha256(f"{version}:{self.to_json()}".encode("utf-8"))
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def build_system(self) -> SystemConfig:
+        """The :class:`SystemConfig` this job simulates (preset + overrides)."""
+        system = make_system(self.system)
+        changes: Dict[str, object] = {}
+        for key, value in self.overrides.items():
+            if key in _CONFIG_SECTIONS:
+                try:
+                    changes[key] = replace(getattr(system, key), **value)
+                except TypeError as exc:
+                    raise ConfigurationError(
+                        f"invalid override for section {key!r}: {exc}"
+                    ) from None
+            else:
+                changes[key] = value
+        # The ACE preset couples policy.comm_memory_bandwidth_gbps to the
+        # engine's DMA slice (see presets.ace_system).  Preserve that coupling
+        # when only the ace section is overridden, so
+        # ``overrides={"ace": {"memory_bandwidth_gbps": ...}}`` behaves like
+        # ``make_system("ace", ace=AceConfig(memory_bandwidth_gbps=...))``.
+        if (
+            "ace" in changes
+            and system.endpoint.value == "ace"
+            and "comm_memory_bandwidth_gbps" not in self.overrides.get("policy", {})
+        ):
+            policy = changes.get("policy", system.policy)
+            changes["policy"] = replace(
+                policy,
+                comm_memory_bandwidth_gbps=changes["ace"].memory_bandwidth_gbps,
+            )
+        return system.with_overrides(**changes) if changes else system
+
+    def build_topology(self) -> Torus3D:
+        """The torus this job runs on (explicit shape or canonical paper shape)."""
+        if self.topology is not None:
+            return torus_from_shape(self.topology)
+        from repro.config.presets import torus_shape_for_npus
+
+        return torus_from_shape(torus_shape_for_npus(self.num_npus))
+
+    def execute(self) -> object:
+        """Run the simulation this spec describes and return its result.
+
+        Returns a :class:`~repro.training.results.TrainingResult` for training
+        jobs, a :class:`~repro.analysis.bandwidth.NetworkDriveResult` for
+        network-drive jobs, and the Table IV row list for area/power jobs.
+        """
+        if self.kind == "training":
+            return simulate_training(
+                self.build_system(),
+                build_workload(self.workload),
+                num_npus=self.build_topology(),
+                iterations=self.iterations,
+                chunk_bytes=self.chunk_bytes,
+                overlap_embedding=self.overlap_embedding,
+            )
+        if self.kind == "network_drive":
+            return measure_network_drive(
+                self.build_system(),
+                self.build_topology(),
+                self.payload_bytes,
+                op=CollectiveOp(self.op),
+                chunk_bytes=self.chunk_bytes,
+            )
+        # area_power: Table IV roll-up plus the overhead-vs-accelerator row.
+        ace_fields = self.overrides.get("ace", {})
+        model = AceAreaPowerModel(replace(AceConfig(), **ace_fields))
+        rows = model.as_table()
+        rows.append(
+            {
+                "component": "Overhead vs training accelerator",
+                "area_um2": 100.0 * model.area_overhead_fraction(),
+                "power_mw": 100.0 * model.power_overhead_fraction(),
+            }
+        )
+        return rows
+
+
+# A frozen dataclass with a dict field cannot use the generated __hash__;
+# hash the canonical JSON instead so equal specs always collide.
+SimJob.__hash__ = lambda self: hash(self.to_json())  # type: ignore[method-assign]
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+
+def training_job(
+    system: str,
+    workload: str,
+    num_npus: Optional[int] = None,
+    topology: Optional[Tuple[int, int, int]] = None,
+    iterations: int = 2,
+    chunk_bytes: Optional[int] = None,
+    overlap_embedding: bool = False,
+    overrides: Optional[Mapping[str, object]] = None,
+) -> SimJob:
+    """A training-loop simulation job (Figs. 9b-12)."""
+    return SimJob(
+        kind="training",
+        system=system,
+        workload=workload,
+        num_npus=num_npus,
+        topology=topology,
+        iterations=iterations,
+        chunk_bytes=chunk_bytes,
+        overlap_embedding=overlap_embedding,
+        overrides=overrides or {},
+    )
+
+
+def network_drive_job(
+    system: str,
+    payload_bytes: int,
+    num_npus: Optional[int] = None,
+    topology: Optional[Tuple[int, int, int]] = None,
+    chunk_bytes: Optional[int] = None,
+    op: CollectiveOp = CollectiveOp.ALL_REDUCE,
+    overrides: Optional[Mapping[str, object]] = None,
+) -> SimJob:
+    """A single-collective network-drive job (Figs. 4-6, 9a)."""
+    return SimJob(
+        kind="network_drive",
+        system=system,
+        payload_bytes=payload_bytes,
+        num_npus=num_npus,
+        topology=topology,
+        chunk_bytes=chunk_bytes,
+        op=op.value if isinstance(op, CollectiveOp) else op,
+        overrides=overrides or {},
+    )
+
+
+def area_power_job(config: Optional[AceConfig] = None) -> SimJob:
+    """A Table IV area/power roll-up job for an ACE configuration."""
+    overrides = {"ace": asdict(config)} if config is not None else {}
+    return SimJob(kind="area_power", overrides=overrides)

@@ -7,9 +7,11 @@ from hypothesis import given, settings, strategies as st
 from repro.collectives import dataops
 from repro.collectives.hierarchical import hierarchical_all_reduce_plan
 from repro.collectives.ring import ring_all_reduce, ring_reduce_scatter
+from repro.config.presets import SYSTEM_CONFIG_NAMES
 from repro.network.messages import split_payload
 from repro.network.routing import hop_count, ring_distance, xyz_route
 from repro.network.topology import Torus3D
+from repro.runner import SimJob
 from repro.sim.engine import Simulator
 from repro.sim.resources import BandwidthResource
 from repro.sim.trace import IntervalTracer
@@ -175,6 +177,87 @@ def test_interval_tracer_busy_time_is_bounded_by_span(intervals):
     busy = tracer.busy_time()
     assert busy <= tracer.total_span() + 1e-6
     assert busy >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# SimJob spec hashing and serialization
+# ---------------------------------------------------------------------------
+
+_POLICY_FIELDS = (
+    "comm_sms",
+    "comm_memory_bandwidth_gbps",
+    "comm_uses_npu_sms",
+    "comm_uses_memory",
+)
+_ACE_FIELDS = ("sram_bytes", "num_fsms", "num_alus", "chunk_bytes")
+
+
+@DEFAULT_SETTINGS
+@given(
+    policy=st.dictionaries(st.sampled_from(_POLICY_FIELDS), st.integers(0, 6)),
+    ace=st.dictionaries(st.sampled_from(_ACE_FIELDS), st.integers(1, 64)),
+    data=st.data(),
+)
+def test_simjob_hash_is_stable_under_dict_ordering(policy, ace, data):
+    sections = [("policy", list(policy.items())), ("ace", list(ace.items()))]
+    shuffled = [
+        (name, dict(data.draw(st.permutations(items)) if items else items))
+        for name, items in data.draw(st.permutations(sections))
+    ]
+    job = SimJob(
+        workload="resnet50",
+        num_npus=16,
+        overrides={"policy": policy, "ace": ace},
+    )
+    reordered = SimJob(workload="resnet50", num_npus=16, overrides=dict(shuffled))
+    assert reordered == job
+    assert hash(reordered) == hash(job)
+    assert reordered.to_json() == job.to_json()
+    assert reordered.spec_hash() == job.spec_hash()
+
+
+@DEFAULT_SETTINGS
+@given(
+    system=st.sampled_from(SYSTEM_CONFIG_NAMES),
+    workload=st.sampled_from(("resnet50", "gnmt", "dlrm", "megatron")),
+    num_npus=st.sampled_from((16, 32, 64, 128)),
+    iterations=st.integers(1, 4),
+    chunk=st.one_of(st.none(), st.integers(1024, 2**20)),
+    overlap=st.booleans(),
+)
+def test_simjob_roundtrips_through_json(system, workload, num_npus, iterations, chunk, overlap):
+    job = SimJob(
+        system=system,
+        workload=workload,
+        num_npus=num_npus,
+        iterations=iterations,
+        chunk_bytes=chunk,
+        overlap_embedding=overlap,
+    )
+    clone = SimJob.from_json(job.to_json())
+    assert clone == job
+    assert hash(clone) == hash(job)
+    assert clone.spec_hash() == job.spec_hash()
+    assert clone.to_json() == job.to_json()
+
+
+@DEFAULT_SETTINGS
+@given(
+    payload=st.integers(1, 2**26),
+    shape=st.tuples(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4)).filter(
+        lambda s: s[0] * s[1] * s[2] >= 2
+    ),
+    op=st.sampled_from(("all_reduce", "all_to_all", "reduce_scatter", "all_gather")),
+)
+def test_network_drive_simjob_roundtrips_and_distinct_specs_differ(payload, shape, op):
+    job = SimJob(kind="network_drive", system="ideal", payload_bytes=payload,
+                 topology=shape, op=op)
+    clone = SimJob.from_dict(job.to_dict())
+    assert clone == job
+    assert clone.spec_hash() == job.spec_hash()
+    bigger = SimJob(kind="network_drive", system="ideal", payload_bytes=payload + 1,
+                    topology=shape, op=op)
+    assert bigger.spec_hash() != job.spec_hash()
 
 
 @DEFAULT_SETTINGS

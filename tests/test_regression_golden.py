@@ -1,0 +1,175 @@
+"""Golden-value regression snapshots for the figure harnesses.
+
+One fast cell per figure (iteration times per system at 16 NPUs, drive
+bandwidths, DSE ratios, Table IV totals) is pinned to the exact values the
+simulator produced when the snapshot was taken.  The simulator is fully
+deterministic, so these comparisons are tight (rel=1e-9): any perf refactor
+that silently changes simulated results — not just crashes — fails here.
+
+To intentionally re-baseline after a modelled-behaviour change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_regression_golden.py -q
+
+and commit the regenerated ``tests/golden_values.json`` together with the
+change that motivated it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import PAPER_SYSTEMS, run_grid
+from repro.experiments.fig4_microbench import run_fig4
+from repro.experiments.fig5_membw_sweep import run_fig5
+from repro.experiments.fig6_sm_sweep import run_fig6
+from repro.experiments.fig9_dse import run_fig9a, run_fig9b
+from repro.experiments.fig10_overlap import run_fig10
+from repro.experiments.fig11_scaling import run_fig11
+from repro.experiments.fig12_dlrm_opt import run_fig12
+from repro.experiments.table4_area import run_table4
+from repro.runner import ResultCache, SweepRunner
+from repro.units import MB
+
+GOLDEN_PATH = Path(__file__).parent / "golden_values.json"
+UPDATE_ENV = "REPRO_UPDATE_GOLDEN"
+
+#: Tolerance for comparisons.  The simulator is deterministic; the tolerance
+#: only absorbs float-formatting of the snapshot itself.
+REL_TOL = 1e-9
+
+
+def compute_golden_values() -> dict:
+    """One fast, 16-NPU cell per figure harness."""
+    runner = SweepRunner(workers=1, cache=ResultCache())
+    values: dict = {}
+
+    grid = run_grid(
+        systems=PAPER_SYSTEMS, workloads=("resnet50",), sizes=(16,), fast=True,
+        runner=runner,
+    )
+    values["grid_resnet50_16npus_iteration_us"] = {
+        r.system_name: r.iteration_time_us for r in grid
+    }
+
+    values["fig4_slowdowns"] = {
+        r["case"]: r["slowdown"] for r in run_fig4(fast=True, runner=runner)
+    }
+
+    values["fig5_16npus"] = {
+        str(r["memory_bw_gbps"]): {
+            "baseline_net_bw_gbps": r["baseline_net_bw_gbps"],
+            "ace_net_bw_gbps": r["ace_net_bw_gbps"],
+            "ideal_net_bw_gbps": r["ideal_net_bw_gbps"],
+        }
+        for r in run_fig5(fast=True, sizes=(16,), payload_bytes=16 * MB, runner=runner)
+    }
+
+    values["fig6_16npus"] = {
+        str(int(r["comm_sms"])): r["baseline_net_bw_gbps"]
+        for r in run_fig6(fast=True, sizes=(16,), payload_bytes=16 * MB, runner=runner)
+    }
+
+    values["fig9a_performance_vs_reference"] = {
+        f"{r['sram_mb']}MB_{r['num_fsms']}fsm": r["performance_vs_reference"]
+        for r in run_fig9a(fast=True, sizes=(16,), runner=runner)
+    }
+
+    fig9b = run_fig9b(fast=True, workloads=("resnet50",), num_npus=16, runner=runner)[0]
+    values["fig9b_resnet50_16npus"] = {
+        "forward": fig9b["ace_util_forward"],
+        "backward": fig9b["ace_util_backward"],
+    }
+
+    values["fig10_dlrm_16npus_iteration_us"] = {
+        r["system"]: r["iteration_time_us"]
+        for r in run_fig10(fast=True, workloads=("dlrm",), num_npus=16, runner=runner)
+    }
+
+    fig11 = run_fig11(fast=True, workloads=("dlrm",), sizes=(16,), runner=runner)
+    values["fig11_dlrm_16npus_speedup_vs_best_baseline"] = fig11["speedups"][0][
+        "speedup_vs_best_baseline"
+    ]
+
+    values["fig12_16npus_improvements"] = {
+        r["system"]: r["total_time_us"]
+        for r in run_fig12(fast=True, num_npus=16, runner=runner)
+        if r["loop"] == "improvement"
+    }
+
+    table4 = run_table4(runner=runner)
+    total = next(r for r in table4 if r["component"] == "ACE (Total)")
+    values["table4_totals"] = {
+        "area_um2": total["area_um2"],
+        "power_mw": total["power_mw"],
+        "overhead_area_pct": table4[-1]["area_um2"],
+        "overhead_power_pct": table4[-1]["power_mw"],
+    }
+    return values
+
+
+def assert_matches_golden(actual, golden, path=""):
+    """Recursive exact-shape, tight-tolerance comparison with a useful path."""
+    if isinstance(golden, dict):
+        assert isinstance(actual, dict), f"{path}: expected mapping"
+        assert set(actual) == set(golden), (
+            f"{path}: keys changed (added {set(actual) - set(golden)}, "
+            f"removed {set(golden) - set(actual)})"
+        )
+        for key in golden:
+            assert_matches_golden(actual[key], golden[key], f"{path}/{key}")
+    elif isinstance(golden, float):
+        assert actual == pytest.approx(golden, rel=REL_TOL), (
+            f"{path}: {actual!r} != golden {golden!r}"
+        )
+    else:
+        assert actual == golden, f"{path}: {actual!r} != golden {golden!r}"
+
+
+@pytest.fixture(scope="module")
+def actual_values():
+    return compute_golden_values()
+
+
+@pytest.fixture(scope="module")
+def golden_values(actual_values):
+    if os.environ.get(UPDATE_ENV):
+        GOLDEN_PATH.write_text(
+            json.dumps(actual_values, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"{GOLDEN_PATH} is missing; regenerate it with {UPDATE_ENV}=1 "
+            "(see the module docstring)"
+        )
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize(
+    "key",
+    [
+        "grid_resnet50_16npus_iteration_us",
+        "fig4_slowdowns",
+        "fig5_16npus",
+        "fig6_16npus",
+        "fig9a_performance_vs_reference",
+        "fig9b_resnet50_16npus",
+        "fig10_dlrm_16npus_iteration_us",
+        "fig11_dlrm_16npus_speedup_vs_best_baseline",
+        "fig12_16npus_improvements",
+        "table4_totals",
+    ],
+)
+def test_golden(actual_values, golden_values, key):
+    assert key in golden_values, (
+        f"golden file has no entry {key!r}; regenerate with {UPDATE_ENV}=1"
+    )
+    assert_matches_golden(actual_values[key], golden_values[key], path=key)
+
+
+def test_golden_file_has_no_stale_entries(actual_values, golden_values):
+    assert set(golden_values) == set(actual_values)

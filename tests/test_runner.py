@@ -1,0 +1,342 @@
+"""The sweep-runner subsystem: determinism, caching, and error capture.
+
+The headline guarantees under test:
+
+* parallel (2+ workers) and serial execution of the same job batch produce
+  bit-identical results,
+* a repeated sweep is served entirely from the cache (hit/miss counters),
+* corrupted on-disk cache entries are detected, dropped, and re-simulated,
+* one failing cell never aborts the rest of the sweep.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.runner import (
+    JobOutcome,
+    ResultCache,
+    SimJob,
+    SweepRunner,
+    area_power_job,
+    decode_result,
+    encode_result,
+    network_drive_job,
+    training_job,
+)
+from repro.training.results import TrainingResult
+from repro.units import KB, MB
+
+
+def small_batch():
+    """A cheap but representative batch: two training cells + one drive."""
+    return [
+        training_job("ace", "resnet50", num_npus=16, iterations=1, chunk_bytes=MB),
+        training_job("ideal", "resnet50", num_npus=16, iterations=1, chunk_bytes=MB),
+        network_drive_job(
+            "baseline_comm_opt", 4 * MB, topology=(2, 2, 2), chunk_bytes=256 * KB
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_bit_identically(self):
+        jobs = small_batch()
+        serial = SweepRunner(workers=1).run(jobs)
+        parallel = SweepRunner(workers=2).run(jobs)
+        assert all(o.ok for o in serial + parallel)
+        for s, p in zip(serial, parallel):
+            # Encoded form compares every float field exactly.
+            assert encode_result(s.value) == encode_result(p.value)
+
+    def test_parallel_results_equal_direct_execution(self):
+        jobs = small_batch()
+        parallel = SweepRunner(workers=2).run_values(jobs)
+        for job, value in zip(jobs, parallel):
+            assert encode_result(value) == encode_result(job.execute())
+
+    def test_cached_rerun_matches_fresh_run(self):
+        jobs = small_batch()
+        runner = SweepRunner(workers=2, cache=ResultCache())
+        first = runner.run_values(jobs)
+        second = runner.run_values(jobs)
+        for a, b in zip(first, second):
+            assert encode_result(a) == encode_result(b)
+
+    def test_outcomes_preserve_input_order(self):
+        jobs = list(reversed(small_batch()))
+        outcomes = SweepRunner(workers=2).run(jobs)
+        assert [o.job for o in outcomes] == jobs
+
+
+# ---------------------------------------------------------------------------
+# Result serialization
+# ---------------------------------------------------------------------------
+
+
+class TestSerialization:
+    def test_training_result_roundtrip_is_equal(self):
+        result = small_batch()[0].execute()
+        assert isinstance(result, TrainingResult)
+        clone = decode_result(encode_result(result))
+        assert clone == result
+        # Series tuples survive as tuples.
+        assert clone.compute_utilization_series == result.compute_utilization_series
+
+    def test_json_rows_roundtrip_and_are_copied(self):
+        rows = [{"component": "ALU", "area_um2": 1.5}]
+        payload = encode_result(rows)
+        clone = decode_result(payload)
+        assert clone == rows
+        clone[0]["area_um2"] = 99.0
+        assert decode_result(payload) == rows  # cached payload not aliased
+
+
+# ---------------------------------------------------------------------------
+# Caching
+# ---------------------------------------------------------------------------
+
+
+class TestCache:
+    def test_memory_cache_hit_and_miss_counters(self):
+        jobs = small_batch()
+        cache = ResultCache()
+        runner = SweepRunner(workers=1, cache=cache)
+        runner.run(jobs)
+        assert cache.misses == len(jobs)
+        assert cache.hits == 0
+        runner.run(jobs)
+        # Second run of the same sweep is served >= 90% (here: 100%) from cache.
+        assert cache.hits == len(jobs)
+        assert cache.misses == len(jobs)
+        assert runner.stats.executed == len(jobs)
+
+    def test_disk_cache_survives_across_runners(self, tmp_path):
+        jobs = small_batch()
+        first = SweepRunner(workers=1, cache=ResultCache(tmp_path))
+        values = first.run_values(jobs)
+        second = SweepRunner(workers=1, cache=ResultCache(tmp_path))
+        outcomes = second.run(jobs)
+        assert all(o.from_cache for o in outcomes)
+        assert second.stats.executed == 0
+        for a, b in zip(values, outcomes):
+            assert encode_result(a) == encode_result(b.value)
+
+    def test_overlapping_sweeps_share_cells(self):
+        cache = ResultCache()
+        runner = SweepRunner(workers=1, cache=cache)
+        runner.run(small_batch())
+        # A different figure's sweep containing two already-simulated cells.
+        overlapping = small_batch()[:2] + [
+            training_job("ace", "resnet50", num_npus=16, iterations=2, chunk_bytes=MB)
+        ]
+        outcomes = runner.run(overlapping)
+        assert [o.from_cache for o in outcomes] == [True, True, False]
+
+    def test_corrupted_cache_entry_is_recovered(self, tmp_path):
+        jobs = small_batch()
+        SweepRunner(workers=1, cache=ResultCache(tmp_path)).run_values(jobs)
+        entries = sorted(tmp_path.glob("*.json"))
+        assert len(entries) == len(jobs)
+        entries[0].write_text("{ not json", encoding="utf-8")
+
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(workers=1, cache=cache)
+        outcomes = runner.run(jobs)
+        assert all(o.ok for o in outcomes)
+        assert cache.corrupted == 1
+        assert runner.stats.executed == 1  # only the corrupted cell re-simulated
+        # The repaired entry is valid again: a third run is all hits.
+        repaired = ResultCache(tmp_path)
+        assert all(o.from_cache for o in SweepRunner(cache=repaired).run(jobs))
+
+    def test_truncated_and_mismatched_entries_are_misses(self, tmp_path):
+        job = area_power_job()
+        cache = ResultCache(tmp_path)
+        SweepRunner(workers=1, cache=cache).run_one(job)
+        path = tmp_path / f"{cache.key_for(job)}.json"
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["job"]["system"] = "tampered"
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        fresh = ResultCache(tmp_path)
+        assert fresh.lookup(job) is None
+        assert fresh.corrupted == 1
+        assert not path.exists()
+
+    def test_version_salt_invalidates_entries(self, tmp_path):
+        job = area_power_job()
+        SweepRunner(workers=1, cache=ResultCache(tmp_path, version="v1")).run_one(job)
+        other = ResultCache(tmp_path, version="v2")
+        assert other.lookup(job) is None
+        assert job.spec_hash("v1") != job.spec_hash("v2")
+
+    def test_mutating_a_cached_result_does_not_poison_the_cache(self):
+        job = small_batch()[0]
+        runner = SweepRunner(workers=1, cache=ResultCache())
+        first = runner.run_one(job)
+        first.extra["poison"] = 1.0
+        first.iteration_breakdowns.clear()
+        second = runner.run_one(job)
+        assert "poison" not in second.extra
+        assert second.iteration_breakdowns
+
+    def test_duplicate_jobs_simulated_once(self):
+        job = area_power_job()
+        runner = SweepRunner(workers=1)
+        outcomes = runner.run([job, job, job])
+        assert all(o.ok for o in outcomes)
+        assert runner.stats.executed == 1
+        assert runner.stats.deduplicated == 2
+
+
+# ---------------------------------------------------------------------------
+# Figure-sweep acceptance: parallel == serial, and re-runs hit the cache
+# ---------------------------------------------------------------------------
+
+
+class TestFigureSweep:
+    def test_parallel_figure_sweep_matches_serial_and_rerun_hits_cache(self):
+        from repro.experiments.common import run_grid
+
+        kwargs = dict(
+            systems=("ace", "ideal"), workloads=("resnet50",), sizes=(16, 64), fast=True
+        )
+        serial = run_grid(runner=SweepRunner(workers=1), **kwargs)
+
+        cache = ResultCache()
+        parallel_runner = SweepRunner(workers=2, cache=cache)
+        parallel = run_grid(runner=parallel_runner, **kwargs)
+        assert len(serial) == len(parallel) == 4
+        for s, p in zip(serial, parallel):
+            assert encode_result(s) == encode_result(p)
+
+        hits_before = cache.hits
+        rerun = run_grid(runner=parallel_runner, **kwargs)
+        hit_rate = (cache.hits - hits_before) / len(rerun)
+        assert hit_rate >= 0.9  # second run of the same sweep is served from cache
+        for p, r in zip(parallel, rerun):
+            assert encode_result(p) == encode_result(r)
+
+
+# ---------------------------------------------------------------------------
+# Error capture
+# ---------------------------------------------------------------------------
+
+
+class TestErrorCapture:
+    def test_failing_job_does_not_abort_the_sweep(self):
+        jobs = [
+            area_power_job(),
+            training_job("ace", "no_such_workload", num_npus=16, iterations=1),
+            network_drive_job("ideal", 4 * MB, topology=(2, 2, 2), chunk_bytes=MB),
+        ]
+        runner = SweepRunner(workers=2)
+        outcomes = runner.run(jobs)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert "no_such_workload" in outcomes[1].error
+        assert runner.stats.errors == 1
+
+    def test_run_values_raises_with_context(self):
+        bad = training_job("ace", "no_such_workload", num_npus=16, iterations=1)
+        with pytest.raises(SimulationError, match="no_such_workload"):
+            SweepRunner(workers=1).run_values([bad])
+
+    def test_errors_are_not_cached(self):
+        cache = ResultCache()
+        runner = SweepRunner(workers=1, cache=cache)
+        bad = training_job("ace", "no_such_workload", num_npus=16, iterations=1)
+        runner.run([bad])
+        runner.run([bad])
+        assert cache.hits == 0
+        assert runner.stats.executed == 2
+
+    def test_non_job_input_is_rejected(self):
+        with pytest.raises(SimulationError, match="SimJob"):
+            SweepRunner().run(["not a job"])
+
+
+# ---------------------------------------------------------------------------
+# SimJob spec validation
+# ---------------------------------------------------------------------------
+
+
+class TestSimJobValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="job kind"):
+            SimJob(kind="banana")
+
+    def test_training_requires_workload_and_size(self):
+        with pytest.raises(ConfigurationError, match="workload"):
+            SimJob(kind="training", num_npus=16, workload=None)
+        with pytest.raises(ConfigurationError, match="num_npus"):
+            SimJob(kind="training", workload="resnet50")
+
+    def test_network_drive_requires_payload(self):
+        with pytest.raises(ConfigurationError, match="payload_bytes"):
+            SimJob(kind="network_drive", num_npus=16)
+
+    def test_unknown_override_section_rejected(self):
+        with pytest.raises(ConfigurationError, match="override section"):
+            SimJob(workload="resnet50", num_npus=16, overrides={"warp_drive": {}})
+
+    def test_unknown_override_field_fails_at_build(self):
+        job = SimJob(
+            workload="resnet50", num_npus=16, overrides={"ace": {"not_a_field": 1}}
+        )
+        with pytest.raises(ConfigurationError, match="not_a_field"):
+            job.build_system()
+
+    def test_overrides_reach_the_system(self):
+        job = SimJob(
+            workload="resnet50",
+            num_npus=16,
+            overrides={
+                "ace": {"sram_bytes": 2 * MB},
+                "collective_scheduling": "fifo",
+            },
+        )
+        system = job.build_system()
+        assert system.ace.sram_bytes == 2 * MB
+        assert system.collective_scheduling == "fifo"
+
+    def test_ace_memory_bandwidth_override_keeps_policy_coupling(self):
+        from repro.config.presets import make_system
+        from repro.config.system import AceConfig
+
+        job = SimJob(
+            system="ace", workload="resnet50", num_npus=16,
+            overrides={"ace": {"memory_bandwidth_gbps": 256.0}},
+        )
+        system = job.build_system()
+        assert system.policy.comm_memory_bandwidth_gbps == 256.0
+        assert system == make_system("ace", ace=AceConfig(memory_bandwidth_gbps=256.0))
+        # An explicit policy override still wins over the derived coupling.
+        pinned = SimJob(
+            system="ace", workload="resnet50", num_npus=16,
+            overrides={
+                "ace": {"memory_bandwidth_gbps": 256.0},
+                "policy": {"comm_memory_bandwidth_gbps": 64.0},
+            },
+        ).build_system()
+        assert pinned.policy.comm_memory_bandwidth_gbps == 64.0
+
+    def test_json_results_normalise_tuples_like_a_disk_roundtrip(self):
+        payload = encode_result({"rows": [(1, 2.5), (3, 4.5)]})
+        assert payload == json.loads(json.dumps(payload))
+        assert decode_result(payload) == {"rows": [[1, 2.5], [3, 4.5]]}
+
+    def test_topology_takes_precedence_over_num_npus(self):
+        job = network_drive_job("ideal", MB, num_npus=16, topology=(2, 2, 2))
+        assert job.build_topology().num_nodes == 8
+
+    def test_outcome_ok_property(self):
+        assert JobOutcome(job=area_power_job()).ok
+        assert not JobOutcome(job=area_power_job(), error="boom").ok
