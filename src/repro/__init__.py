@@ -54,8 +54,22 @@ from repro.config import (
     make_system,
     torus_shape_for_npus,
 )
-from repro.collectives import CollectiveOp, CollectivePlan, plan_collective
-from repro.network.topology import RingTopology, SwitchTopology, Torus3D
+from repro.collectives import (
+    CollectiveOp,
+    CollectivePlan,
+    algorithms,
+    plan_collective,
+    supported_algorithms,
+)
+from repro.network.topology import (
+    FullyConnected,
+    RingTopology,
+    SwitchTopology,
+    Topology,
+    Torus2D,
+    Torus3D,
+    topology_from_spec,
+)
 from repro.runner import (
     JobOutcome,
     ResultCache,
@@ -74,7 +88,7 @@ from repro.workloads import (
     build_workload,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AceConfig",
@@ -93,10 +107,16 @@ __all__ = [
     "torus_shape_for_npus",
     "CollectiveOp",
     "CollectivePlan",
+    "algorithms",
     "plan_collective",
+    "supported_algorithms",
+    "FullyConnected",
     "RingTopology",
     "SwitchTopology",
+    "Topology",
+    "Torus2D",
     "Torus3D",
+    "topology_from_spec",
     "JobOutcome",
     "ResultCache",
     "SimJob",

@@ -24,7 +24,7 @@ from repro.collectives.base import CollectiveOp
 from repro.collectives.planner import plan_collective
 from repro.config.system import ResourcePolicy, SystemConfig
 from repro.errors import ConfigurationError
-from repro.network.topology import Torus3D
+from repro.network.topology import Topology, Torus3D
 from repro.sim.engine import Simulator
 from repro.training.comm import CollectiveExecutor
 from repro.units import MB
@@ -62,7 +62,7 @@ class NetworkDriveResult:
 
 def measure_network_drive(
     system: SystemConfig,
-    topology: Torus3D,
+    topology: Topology,
     payload_bytes: int = 64 * MB,
     op: CollectiveOp = CollectiveOp.ALL_REDUCE,
     chunk_bytes: Optional[int] = None,
@@ -256,9 +256,11 @@ def analytical_memory_traffic(topology: Torus3D) -> MemoryBandwidthRequirement:
     Baseline: every reduce-scatter-style byte sent requires two reads (local +
     received copy), every all-gather byte sent requires one read.  ACE: the
     payload is read into the SRAM exactly once regardless of how many bytes
-    the algorithm injects.
+    the algorithm injects.  The accounting is derived for the paper's
+    hierarchical all-reduce, so that algorithm is pinned here explicitly
+    rather than inherited from auto-selection.
     """
-    plan = plan_collective(CollectiveOp.ALL_REDUCE, topology)
+    plan = plan_collective(CollectiveOp.ALL_REDUCE, topology, algorithm="hierarchical")
     injected = plan.total_injected_fraction
     baseline_reads = sum(
         p.bytes_sent_fraction + p.reduced_bytes_fraction for p in plan.phases

@@ -10,30 +10,50 @@ Two complementary views of each collective are provided:
 
 * **Performance plans** (:class:`~repro.collectives.base.CollectivePlan`) —
   the per-phase byte/step accounting the simulator uses to charge endpoint
-  processing, memory traffic and link occupancy.  Plans are built by
-  :func:`~repro.collectives.planner.plan_collective` for a given topology,
-  following the paper's topology-aware algorithms (hierarchical 4-phase
-  all-reduce on the 3D torus, direct all-to-all with XYZ routing).
+  processing, memory traffic and link occupancy.  Plans are selected by the
+  registry-based :func:`~repro.collectives.planner.plan_collective`: each
+  algorithm (hierarchical, direct, ring, tree, halving-doubling) registers a
+  capability predicate and is costed per topology, so explicit choices are
+  validated and ``algorithm="auto"`` picks the cheapest feasible plan — the
+  paper's hierarchical 4-phase all-reduce and XYZ-routed direct all-to-all
+  on the 3D torus.
 """
 
 from repro.collectives.base import CollectiveOp, CollectivePlan, PhaseSpec
-from repro.collectives.planner import plan_collective
+from repro.collectives.planner import (
+    AlgorithmSpec,
+    algorithm_capabilities,
+    algorithms,
+    estimate_plan_cost,
+    plan_collective,
+    register_algorithm,
+    supported_algorithms,
+)
 from repro.collectives.hierarchical import hierarchical_all_reduce_plan
 from repro.collectives.ring import (
+    flat_ring_plan,
     ring_all_gather_phase,
     ring_all_reduce_phase,
     ring_reduce_scatter_phase,
 )
-from repro.collectives.alltoall import direct_all_to_all_plan
+from repro.collectives.alltoall import direct_all_to_all_plan, single_hop_all_to_all_plan
 
 __all__ = [
     "CollectiveOp",
     "CollectivePlan",
     "PhaseSpec",
+    "AlgorithmSpec",
+    "algorithm_capabilities",
+    "algorithms",
+    "estimate_plan_cost",
     "plan_collective",
+    "register_algorithm",
+    "supported_algorithms",
     "hierarchical_all_reduce_plan",
+    "flat_ring_plan",
     "ring_all_gather_phase",
     "ring_all_reduce_phase",
     "ring_reduce_scatter_phase",
     "direct_all_to_all_plan",
+    "single_hop_all_to_all_plan",
 ]

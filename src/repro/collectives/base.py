@@ -86,12 +86,15 @@ class PhaseSpec:
                 raise CollectiveError(f"{name} must be non-negative")
 
     def bytes_sent(self, payload_bytes: float) -> float:
+        """Bytes this NPU injects during the phase for a ``payload_bytes`` chunk."""
         return payload_bytes * self.bytes_sent_fraction
 
     def bytes_reduced(self, payload_bytes: float) -> float:
+        """Bytes requiring a reduction on receipt for a ``payload_bytes`` chunk."""
         return payload_bytes * self.reduced_bytes_fraction
 
     def bytes_forwarded(self, payload_bytes: float) -> float:
+        """Bytes forwarded on behalf of other NPUs for a ``payload_bytes`` chunk."""
         return payload_bytes * self.forwarded_bytes_fraction
 
 
@@ -115,6 +118,7 @@ class CollectivePlan:
     # ------------------------------------------------------------------
     @property
     def num_phases(self) -> int:
+        """Total number of phases (parallel phases counted individually)."""
         return len(self.phases)
 
     @property
@@ -129,13 +133,16 @@ class CollectivePlan:
 
     @property
     def total_reduced_fraction(self) -> float:
+        """Total bytes reduced per payload byte across all phases."""
         return sum(p.reduced_bytes_fraction for p in self.phases)
 
     @property
     def total_forwarded_fraction(self) -> float:
+        """Total bytes forwarded (multi-hop traffic) per payload byte."""
         return sum(p.forwarded_bytes_fraction for p in self.phases)
 
     def total_injected_bytes(self, payload_bytes: float) -> float:
+        """Total bytes injected into the network for a ``payload_bytes`` collective."""
         return payload_bytes * self.total_injected_fraction
 
     def per_dimension_injected_fraction(self) -> Dict[str, float]:

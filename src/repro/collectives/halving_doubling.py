@@ -92,12 +92,18 @@ def halving_doubling_all_reduce(arrays: Sequence[np.ndarray]) -> List[np.ndarray
     return data
 
 
-def halving_doubling_plan(dimension: str, num_nodes: int) -> CollectivePlan:
-    """Plan for a halving-doubling all-reduce over a single dimension."""
+def halving_doubling_plan(
+    dimension: str, num_nodes: int, topology_name: str = ""
+) -> CollectivePlan:
+    """Plan for a halving-doubling all-reduce over a single dimension.
+
+    ``topology_name`` labels the plan (defaults to ``hd-<n>``).
+    """
+    topology_name = topology_name or f"hd-{num_nodes}"
     if num_nodes < 2:
         return CollectivePlan(
             op=CollectiveOp.ALL_REDUCE,
-            topology_name=f"hd-{num_nodes}",
+            topology_name=topology_name,
             num_nodes=max(1, num_nodes),
             phases=(),
         )
@@ -133,7 +139,7 @@ def halving_doubling_plan(dimension: str, num_nodes: int) -> CollectivePlan:
     )
     return CollectivePlan(
         op=CollectiveOp.ALL_REDUCE,
-        topology_name=f"hd-{num_nodes}",
+        topology_name=topology_name,
         num_nodes=num_nodes,
         phases=phases,
     )

@@ -11,6 +11,11 @@ Two layers live here:
 * **Phase builders** (``ring_reduce_scatter_phase`` etc.) that produce the
   :class:`~repro.collectives.base.PhaseSpec` byte/step accounting the
   performance model consumes.
+
+* **Plan builders** (``flat_ring_plan``) that wrap one phase into a complete
+  :class:`~repro.collectives.base.CollectivePlan` for a logical ring spanning
+  an entire topology — the form the planner registry consumes when the flat
+  ring algorithm is chosen for a fabric.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.collectives.base import PhaseSpec
+from repro.collectives.base import CollectiveOp, CollectivePlan, PhaseSpec
 from repro.collectives.dataops import split_shards
 from repro.errors import CollectiveError
 
@@ -169,4 +174,41 @@ def ring_all_reduce_phase(
         resident_fraction_in=resident_fraction,
         resident_fraction_out=resident_fraction,
         parallel_group=parallel_group,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Plan builders (complete plans for a logical ring over a whole topology)
+# ---------------------------------------------------------------------------
+
+
+def flat_ring_plan(
+    op: CollectiveOp,
+    topology_name: str,
+    dimension: str,
+    num_nodes: int,
+) -> CollectivePlan:
+    """Plan for ``op`` over one logical ring of all ``num_nodes`` NPUs.
+
+    This is the classic single-ring (bandwidth-optimal, latency-linear)
+    algorithm: ``2 (n-1)/n`` bytes injected per payload byte for all-reduce,
+    ``(n-1)/n`` for reduce-scatter and all-gather.  ``dimension`` names the
+    fabric pipe the traffic is charged to; on a multi-dimension torus the
+    planner charges the slowest active dimension, since a Hamiltonian ring
+    over the torus is throughput-bound by its slowest link class.
+    """
+    if num_nodes < 2:
+        return CollectivePlan(
+            op=op, topology_name=topology_name, num_nodes=max(1, num_nodes), phases=()
+        )
+    if op is CollectiveOp.ALL_REDUCE:
+        phase = ring_all_reduce_phase(dimension, num_nodes, 1.0)
+    elif op is CollectiveOp.REDUCE_SCATTER:
+        phase = ring_reduce_scatter_phase(dimension, num_nodes, 1.0)
+    elif op is CollectiveOp.ALL_GATHER:
+        phase = ring_all_gather_phase(dimension, num_nodes, 1.0 / num_nodes)
+    else:
+        raise CollectiveError(f"flat ring plans do not support {op.value}")
+    return CollectivePlan(
+        op=op, topology_name=topology_name, num_nodes=num_nodes, phases=(phase,)
     )

@@ -87,18 +87,21 @@ def _tree_depth(node: int, num_nodes: int, shift: int) -> int:
             raise CollectiveError("tree structure contains a cycle")
 
 
-def double_binary_tree_plan(dimension: str, num_nodes: int) -> CollectivePlan:
+def double_binary_tree_plan(
+    dimension: str, num_nodes: int, topology_name: str = ""
+) -> CollectivePlan:
     """Plan for a double-binary-tree all-reduce over a single dimension.
 
     Each node sends its (half-payload) contribution up one tree and forwards
     the broadcast down, for both trees: roughly 2 payload bytes injected per
     payload byte for interior nodes, with ``2 * ceil(log2(n))`` sequential
-    steps.
+    steps.  ``topology_name`` labels the plan (defaults to ``dbt-<n>``).
     """
+    topology_name = topology_name or f"dbt-{num_nodes}"
     if num_nodes < 2:
         return CollectivePlan(
             op=CollectiveOp.ALL_REDUCE,
-            topology_name=f"dbt-{num_nodes}",
+            topology_name=topology_name,
             num_nodes=max(1, num_nodes),
             phases=(),
         )
@@ -129,7 +132,7 @@ def double_binary_tree_plan(dimension: str, num_nodes: int) -> CollectivePlan:
     )
     return CollectivePlan(
         op=CollectiveOp.ALL_REDUCE,
-        topology_name=f"dbt-{num_nodes}",
+        topology_name=topology_name,
         num_nodes=num_nodes,
         phases=phases,
     )

@@ -17,7 +17,7 @@ The paper evaluates five systems on the same hardware (Table V):
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.config.system import (
     AceConfig,
@@ -184,12 +184,15 @@ _FACTORIES = {
 }
 
 
-def make_system(name: str, **overrides) -> SystemConfig:
+def make_system(name: str, algorithm: Optional[str] = None, **overrides) -> SystemConfig:
     """Build one of the Table VI configurations by name.
 
     ``name`` accepts the canonical snake_case identifiers
     (``baseline_comm_opt``, ``ace``, ...) as well as the paper's CamelCase
-    labels (``BaselineCommOpt``, ``ACE``, ``Ideal``).
+    labels (``BaselineCommOpt``, ``ACE``, ``Ideal``).  ``algorithm`` pins the
+    collective algorithm the planner uses for this system (default: keep the
+    preset's ``"auto"``, i.e. the cheapest feasible plan per topology —
+    the paper's hierarchical/direct choices on the torus).
     """
     key = name.strip()
     normalized = {
@@ -206,4 +209,7 @@ def make_system(name: str, **overrides) -> SystemConfig:
             f"unknown system configuration {name!r}; "
             f"expected one of {sorted(_FACTORIES)}"
         ) from None
-    return factory(**overrides)
+    system = factory(**overrides)
+    if algorithm is not None:
+        system = system.with_overrides(collective_algorithm=algorithm)
+    return system

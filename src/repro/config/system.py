@@ -99,6 +99,24 @@ class MemoryConfig:
             raise ConfigurationError("transaction_overhead_ns must be non-negative")
 
 
+#: Canonical mapping of fabric dimensions to their physical link class.
+#: Torus dimensions follow Table V (``local`` rides the silicon interposer,
+#: ``vertical``/``horizontal`` the inter-package links); the non-torus fabrics
+#: reuse the same classes — a ``switch`` port is provisioned like the
+#: intra-package links (an NVSwitch-class group) while ``direct``
+#: (fully-connected) point-to-point links are inter-package class.  This is
+#: the single source of truth consulted by both the symmetric fabric
+#: (:meth:`NetworkConfig.dimension_bandwidth_gbps`) and the per-link model
+#: (:meth:`repro.network.links.LinkKind.for_dimension`).
+DIMENSION_LINK_CLASS: Dict[str, str] = {
+    "local": "intra_package",
+    "switch": "intra_package",
+    "vertical": "inter_package",
+    "horizontal": "inter_package",
+    "direct": "inter_package",
+}
+
+
 @dataclass(frozen=True)
 class NetworkConfig:
     """Accelerator-fabric link parameters (per NPU) for the 3D torus.
@@ -171,23 +189,30 @@ class NetworkConfig:
     def inter_package_latency_ns(self) -> float:
         return cycles_to_ns(self.inter_package_latency_cycles, self.frequency_mhz)
 
+    @staticmethod
+    def _link_class(dim: str) -> str:
+        try:
+            return DIMENSION_LINK_CLASS[dim]
+        except KeyError:
+            raise ConfigurationError(f"unknown fabric dimension {dim!r}") from None
+
     def dimension_bandwidth_gbps(self, dim: str) -> float:
-        """Ring bandwidth of a torus dimension ('local' | 'vertical' | 'horizontal')."""
-        table = {
-            "local": self.local_ring_bandwidth_gbps,
-            "vertical": self.vertical_ring_bandwidth_gbps,
-            "horizontal": self.horizontal_ring_bandwidth_gbps,
-        }
-        if dim not in table:
-            raise ConfigurationError(f"unknown torus dimension {dim!r}")
-        return table[dim]
+        """Per-NPU bandwidth of a fabric dimension.
+
+        The dimension's physical link class comes from the shared
+        :data:`DIMENSION_LINK_CLASS` table (Table V provisioning for the
+        torus; switch = intra-package class, direct = inter-package class).
+        """
+        if self._link_class(dim) == "intra_package":
+            return self.local_ring_bandwidth_gbps
+        return self.vertical_ring_bandwidth_gbps
 
     def dimension_latency_ns(self, dim: str) -> float:
-        if dim == "local":
+        """Per-hop link latency of a fabric dimension (classes per
+        :data:`DIMENSION_LINK_CLASS`)."""
+        if self._link_class(dim) == "intra_package":
             return self.intra_package_latency_ns
-        if dim in ("vertical", "horizontal"):
-            return self.inter_package_latency_ns
-        raise ConfigurationError(f"unknown torus dimension {dim!r}")
+        return self.inter_package_latency_ns
 
 
 @dataclass(frozen=True)
@@ -280,6 +305,15 @@ class SystemConfig:
     policy: ResourcePolicy = field(default_factory=ResourcePolicy)
     #: Scheduling policy for pending collectives: "lifo" (paper default) or "fifo".
     collective_scheduling: str = "lifo"
+    #: Collective algorithm the planner should use: "auto" (cheapest feasible
+    #: plan for the topology — the paper's hierarchical/direct choices on the
+    #: torus) or an explicit registered name ("hierarchical", "ring", "tree",
+    #: "halving_doubling", "direct").  An explicit name applies to the
+    #: operations that algorithm implements; a workload's other collectives
+    #: (e.g. DLRM's all-to-all under a pinned all-reduce algorithm) fall back
+    #: to auto selection.  Validated against the registry when the first plan
+    #: is requested.
+    collective_algorithm: str = "auto"
     #: Fixed overhead from issuing a collective until its first chunk can be
     #: processed.  For the baselines this is the communication-kernel launch
     #: and scheduling cost on a busy GPU (Section III measures multi-us
@@ -292,6 +326,11 @@ class SystemConfig:
             raise ConfigurationError(
                 f"collective_scheduling must be 'lifo' or 'fifo', got "
                 f"{self.collective_scheduling!r}"
+            )
+        if not self.collective_algorithm or not isinstance(self.collective_algorithm, str):
+            raise ConfigurationError(
+                f"collective_algorithm must be a non-empty algorithm name or "
+                f"'auto', got {self.collective_algorithm!r}"
             )
         if self.policy.comm_sms > self.compute.num_sms:
             raise ConfigurationError(
@@ -379,6 +418,7 @@ class SystemConfig:
             "comm_mem_bw_gbps": self.comm_memory_bandwidth_gbps,
             "network_injection_bw_gbps": self.network.total_injection_bandwidth_gbps,
             "scheduling": self.collective_scheduling,
+            "algorithm": self.collective_algorithm,
         }
 
 

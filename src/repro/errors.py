@@ -11,8 +11,13 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
 
 
-class ConfigurationError(ReproError):
-    """A system, workload or experiment configuration is invalid."""
+class ConfigurationError(ReproError, ValueError):
+    """A system, workload or experiment configuration is invalid.
+
+    Also a :class:`ValueError`: configuration failures are bad input values
+    (e.g. a malformed ``REPRO_WORKERS`` environment variable), so callers
+    holding only standard exceptions can still catch them idiomatically.
+    """
 
 
 class SimulationError(ReproError):

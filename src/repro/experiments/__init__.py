@@ -24,9 +24,14 @@ fig11     Fig. 11a/11b — scaling of compute, exposed comm and speedups
 fig12     Fig. 12 — DLRM embedding-overlap optimisation
 table4    Table IV — ACE area and power
 ========  ==============================================================
+
+:mod:`repro.experiments.cross_topology` extends past the paper: it sweeps
+(topology x collective algorithm x platform size) through the planner
+registry and the sweep runner; see ``run_cross_topology``.
 """
 
 from repro.experiments import common
+from repro.experiments.cross_topology import run_cross_topology
 from repro.experiments.fig4_microbench import run_fig4
 from repro.experiments.fig5_membw_sweep import run_fig5
 from repro.experiments.fig6_sm_sweep import run_fig6
@@ -38,6 +43,7 @@ from repro.experiments.table4_area import run_table4
 
 __all__ = [
     "common",
+    "run_cross_topology",
     "run_fig4",
     "run_fig5",
     "run_fig6",

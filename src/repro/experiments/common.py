@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.config.presets import torus_shape_for_npus
+from repro.errors import ConfigurationError
 from repro.network.topology import Torus3D, torus_from_shape
 from repro.runner import SimJob, SweepRunner, default_runner
 from repro.training.results import TrainingResult
@@ -57,8 +58,23 @@ def grid_jobs(
     iterations: int = 2,
     fast: bool = True,
     overlap_embedding: bool = False,
+    fabric: Optional[str] = None,
+    algorithm: str = "auto",
 ) -> List[SimJob]:
-    """Job specs for every (system, workload, size) grid cell, in grid order."""
+    """Job specs for every (system, workload, size) grid cell, in grid order.
+
+    ``fabric`` (a topology spec string such as ``"switch:64"``) replaces the
+    canonical per-size torus, and ``algorithm`` pins the collective algorithm
+    (default: planner auto-selection) — together they let the paper's grids
+    be re-run on alternative fabrics.  A fabric spec fixes the platform size,
+    so it requires a single-entry ``sizes`` (otherwise every "size" cell
+    would silently be the same simulation).
+    """
+    if fabric is not None and len(set(sizes)) > 1:
+        raise ConfigurationError(
+            f"fabric={fabric!r} fixes the platform size; pass a single-entry "
+            f"sizes instead of {tuple(sizes)} (one fabric spec per size)"
+        )
     jobs: List[SimJob] = []
     for workload_name in workloads:
         chunk = chunk_bytes_for(workload_name, fast)
@@ -69,7 +85,9 @@ def grid_jobs(
                         kind="training",
                         system=system_name,
                         workload=workload_name,
-                        num_npus=num_npus,
+                        num_npus=None if fabric else num_npus,
+                        fabric=fabric,
+                        algorithm=algorithm,
                         iterations=iterations,
                         chunk_bytes=chunk,
                         overlap_embedding=overlap_embedding,
@@ -85,6 +103,8 @@ def run_grid(
     iterations: int = 2,
     fast: bool = True,
     overlap_embedding: bool = False,
+    fabric: Optional[str] = None,
+    algorithm: str = "auto",
     runner: Optional[SweepRunner] = None,
 ) -> List[TrainingResult]:
     """Simulate every (system, workload, size) combination and return results."""
@@ -97,6 +117,8 @@ def run_grid(
             iterations=iterations,
             fast=fast,
             overlap_embedding=overlap_embedding,
+            fabric=fabric,
+            algorithm=algorithm,
         )
     )
 

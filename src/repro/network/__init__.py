@@ -11,10 +11,13 @@ Two backends are provided:
 """
 
 from repro.network.topology import (
+    FullyConnected,
     RingTopology,
     SwitchTopology,
     Topology,
+    Torus2D,
     Torus3D,
+    topology_from_spec,
 )
 from repro.network.links import Link, LinkKind
 from repro.network.messages import Chunk, Message, Packet
@@ -23,10 +26,13 @@ from repro.network.fabric import FabricSimulator
 from repro.network.symmetric import DimensionPipe, SymmetricFabric
 
 __all__ = [
+    "FullyConnected",
     "RingTopology",
     "SwitchTopology",
     "Topology",
+    "Torus2D",
     "Torus3D",
+    "topology_from_spec",
     "Link",
     "LinkKind",
     "Chunk",

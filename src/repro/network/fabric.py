@@ -39,6 +39,7 @@ class Delivery:
 
     @property
     def latency(self) -> float:
+        """End-to-end delivery time (ns), queueing included."""
         return self.arrived_at - self.departed_at
 
 
@@ -61,9 +62,11 @@ class FabricSimulator:
     # ------------------------------------------------------------------
     @property
     def num_links(self) -> int:
+        """Number of directed links in the fabric."""
         return len(self._links)
 
     def link(self, src: int, dst: int, dimension: str) -> Link:
+        """The :class:`Link` from ``src`` to ``dst`` on ``dimension``."""
         try:
             return self._links[(src, dst, dimension)]
         except KeyError:
@@ -72,6 +75,7 @@ class FabricSimulator:
             ) from None
 
     def links(self) -> List[Link]:
+        """All links, in topology iteration order."""
         return list(self._links.values())
 
     def _find_link(self, src: int, dst: int) -> Link:
@@ -131,12 +135,15 @@ class FabricSimulator:
     # Statistics
     # ------------------------------------------------------------------
     def total_bytes_moved(self) -> float:
+        """Total bytes moved across every link of the fabric."""
         return sum(link.bytes_moved for link in self._links.values())
 
     def max_link_busy_time(self) -> float:
+        """Busy time (ns) of the most-loaded link."""
         return max((link.busy_time for link in self._links.values()), default=0.0)
 
     def average_utilization(self, horizon_ns: float) -> float:
+        """Mean link utilization over ``horizon_ns`` across all links."""
         if not self._links or horizon_ns <= 0:
             return 0.0
         return sum(l.utilization(horizon_ns) for l in self._links.values()) / len(self._links)
@@ -149,5 +156,6 @@ class FabricSimulator:
         return out
 
     def reset(self) -> None:
+        """Clear every link's reservations and accounting."""
         for link in self._links.values():
             link.reset()

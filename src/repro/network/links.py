@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
-from repro.config.system import NetworkConfig
+from repro.config.system import DIMENSION_LINK_CLASS, NetworkConfig
 from repro.sim.resources import BandwidthResource, Reservation
 from repro.sim.trace import IntervalTracer
 
@@ -24,8 +24,18 @@ class LinkKind(str, enum.Enum):
 
     @classmethod
     def for_dimension(cls, dimension: str) -> "LinkKind":
-        """The paper maps the local torus dimension to intra-package links."""
-        return cls.INTRA_PACKAGE if dimension == "local" else cls.INTER_PACKAGE
+        """Physical link class of a fabric dimension.
+
+        Consults the shared
+        :data:`repro.config.system.DIMENSION_LINK_CLASS` table, so the
+        per-link model and the symmetric fabric can never disagree on a
+        dimension's provisioning.  Unknown dimensions default to the
+        inter-package (slower) class, preserving the historical behaviour
+        for custom dimension labels.
+        """
+        if DIMENSION_LINK_CLASS.get(dimension) == "intra_package":
+            return cls.INTRA_PACKAGE
+        return cls.INTER_PACKAGE
 
 
 class Link:
@@ -68,19 +78,24 @@ class Link:
 
     @property
     def busy_time(self) -> float:
+        """Total time (ns) the link has spent moving bytes."""
         return self._pipe.busy_time
 
     @property
     def bytes_moved(self) -> float:
+        """Total bytes serialised through the link so far."""
         return self._pipe.bytes_moved
 
     def utilization(self, horizon_ns: float) -> float:
+        """Fraction of ``horizon_ns`` the link was busy."""
         return self._pipe.utilization(horizon_ns)
 
     def achieved_bandwidth_gbps(self, horizon_ns: float) -> float:
+        """Average bandwidth driven over ``horizon_ns`` (GB/s)."""
         return self._pipe.achieved_bandwidth_gbps(horizon_ns)
 
     def reset(self) -> None:
+        """Clear all reservations and accounting."""
         self._pipe.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

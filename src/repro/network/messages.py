@@ -45,6 +45,7 @@ class Packet:
 
     @property
     def latency(self) -> Optional[float]:
+        """Injection-to-delivery time (ns), or None while in flight."""
         if self.injected_at is None or self.delivered_at is None:
             return None
         return self.delivered_at - self.injected_at
@@ -107,9 +108,11 @@ class Chunk:
 
     @property
     def done(self) -> bool:
+        """Whether the chunk has completed its final phase."""
         return self.completed_at is not None
 
     def advance_phase(self) -> None:
+        """Move the chunk to its next plan phase (error past the last)."""
         if self.phase_index >= self.num_phases:
             raise CollectiveError(
                 f"chunk {self.id} already past its final phase "

@@ -7,11 +7,17 @@ system can be captured from the viewpoint of one representative NPU — exactly
 the viewpoint the paper itself uses in Fig. 8 ("from node X's view").
 
 :class:`SymmetricFabric` exposes, for the representative NPU, one
-:class:`DimensionPipe` per torus dimension.  A pipe aggregates the per-NPU
+:class:`DimensionPipe` per fabric dimension.  A pipe aggregates the per-NPU
 ring bandwidth of that dimension (Table V: 400 GB/s local, 50 GB/s vertical,
-50 GB/s horizontal) and serialises transfers FIFO.  Link latency is charged
-per ring step.  Busy intervals are traced so network utilization timelines
+50 GB/s horizontal; switch and fully-connected fabrics map onto the same
+link classes) and serialises transfers FIFO.  Link latency is charged per
+ring step.  Busy intervals are traced so network utilization timelines
 (Fig. 10) and achieved bandwidth (Figs. 5, 6, 11) can be reported.
+
+The fabric works for any :class:`~repro.network.topology.Topology`: pipes
+are created for whatever :meth:`~repro.network.topology.Topology.active_dimensions`
+reports, so ring, switch, fully-connected and torus fabrics all share this
+model.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.config.system import NetworkConfig
 from repro.errors import TopologyError
-from repro.network.topology import TORUS_DIMENSIONS, Torus3D
+from repro.network.topology import Topology
 from repro.sim.resources import BandwidthResource, Reservation
 from repro.sim.trace import IntervalTracer, UtilizationTrace
 
@@ -46,26 +52,31 @@ class DimensionPipe:
 
     @property
     def busy_time(self) -> float:
+        """Total time (ns) the pipe has spent moving bytes."""
         return self._pipe.busy_time
 
     @property
     def bytes_moved(self) -> float:
+        """Total bytes serialised through the pipe so far."""
         return self._pipe.bytes_moved
 
     def utilization(self, horizon_ns: float) -> float:
+        """Fraction of ``horizon_ns`` the pipe was busy."""
         return self._pipe.utilization(horizon_ns)
 
     def achieved_bandwidth_gbps(self, horizon_ns: float) -> float:
+        """Average bandwidth driven over ``horizon_ns`` (GB/s)."""
         return self._pipe.achieved_bandwidth_gbps(horizon_ns)
 
     def reset(self) -> None:
+        """Clear all reservations and accounting."""
         self._pipe.reset()
 
 
 class SymmetricFabric:
-    """Per-dimension pipes for the representative NPU of a symmetric torus."""
+    """Per-dimension pipes for the representative NPU of a symmetric fabric."""
 
-    def __init__(self, topology: Torus3D, network: NetworkConfig) -> None:
+    def __init__(self, topology: Topology, network: NetworkConfig) -> None:
         self.topology = topology
         self.network = network
         self._pipes: Dict[str, DimensionPipe] = {}
@@ -81,17 +92,20 @@ class SymmetricFabric:
     # ------------------------------------------------------------------
     @property
     def dimensions(self) -> List[str]:
+        """Names of the active dimension pipes."""
         return list(self._pipes)
 
     def pipe(self, dimension: str) -> DimensionPipe:
+        """The :class:`DimensionPipe` carrying ``dimension`` traffic."""
         try:
             return self._pipes[dimension]
         except KeyError:
             raise TopologyError(
-                f"dimension {dimension!r} is not active in torus {self.topology.name}"
+                f"dimension {dimension!r} is not active in fabric {self.topology.name}"
             ) from None
 
     def has_dimension(self, dimension: str) -> bool:
+        """Whether ``dimension`` has an active pipe in this fabric."""
         return dimension in self._pipes
 
     # ------------------------------------------------------------------
@@ -135,6 +149,7 @@ class SymmetricFabric:
         return latest
 
     def reset(self) -> None:
+        """Clear every dimension pipe's reservations and accounting."""
         for pipe in self._pipes.values():
             pipe.reset()
 

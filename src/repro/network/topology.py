@@ -3,16 +3,29 @@
 The paper evaluates a point-to-point 3D torus built from an intra-package
 local ring (L NPUs per package) and inter-package vertical/horizontal rings
 (V rows x H columns of packages); the notation ``LxVxH`` names the shape.
-A plain ring and an idealised single-switch topology are also provided for
-unit tests, small examples and the switch-offload comparison discussed in
-Section IV-B.
+Several alternative fabrics are provided for the cross-topology planner
+sweeps and the switch-offload comparison discussed in Section IV-B:
+
+* :class:`RingTopology` — a single flat ring;
+* :class:`SwitchTopology` — all endpoints behind one logical switch
+  (an NVSwitch-class group);
+* :class:`FullyConnected` — dedicated point-to-point links between every
+  endpoint pair;
+* :class:`Torus2D` — a VxH torus of single-NPU packages (a degenerate
+  :class:`Torus3D` with L = 1).
+
+:func:`topology_from_spec` parses the string notation used by job specs
+(``"torus:4x4x4"``, ``"ring:16"``, ...) into topology instances, and every
+topology exposes :meth:`Topology.cache_key` so the collective planner can
+cache plans by value even when two different topology classes share a node
+count.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple, Union
 
 from repro.errors import TopologyError
 
@@ -38,10 +51,40 @@ class Topology(abc.ABC):
     def links(self) -> List[Tuple[int, int, str]]:
         """All directed links as ``(src, dst, dimension)`` tuples."""
 
+    @property
+    def name(self) -> str:
+        """Short human-readable identifier (used in plans, errors, reports)."""
+        return f"{type(self).__name__.lower()}-{self.num_nodes}"
+
+    def cache_key(self) -> Hashable:
+        """Value identity used to cache collective plans.
+
+        Two topology instances that are interchangeable for planning purposes
+        must return equal keys; topologies of different classes that merely
+        share a node count must not.  The default key includes the class name
+        and the node count, which is sufficient for topologies whose behaviour
+        is fully determined by their size.
+        """
+        return (type(self).__name__.lower(), self.num_nodes)
+
+    def active_dimensions(self) -> List[str]:
+        """Dimension names that carry traffic, in deterministic order.
+
+        The default derives them from :meth:`links`; subclasses with cheap
+        structural knowledge override this.
+        """
+        seen: List[str] = []
+        for _, _, dim in self.links():
+            if dim not in seen:
+                seen.append(dim)
+        return seen
+
     def nodes(self) -> range:
+        """Iterable of all node ids (``0 .. num_nodes - 1``)."""
         return range(self.num_nodes)
 
     def validate_node(self, node: int) -> None:
+        """Raise :class:`TopologyError` unless ``node`` is a valid node id."""
         if not 0 <= node < self.num_nodes:
             raise TopologyError(
                 f"node {node} out of range for topology with {self.num_nodes} nodes"
@@ -62,15 +105,31 @@ class RingTopology(Topology):
 
     @property
     def num_nodes(self) -> int:
+        """Number of endpoints on the ring."""
         return self.size
 
+    @property
+    def name(self) -> str:
+        """``ring-<size>`` identifier."""
+        return f"ring-{self.size}"
+
+    def cache_key(self) -> Tuple:
+        """Plans depend on size, direction and the dimension label."""
+        return ("ring", self.size, self.bidirectional, self.dimension)
+
+    def active_dimensions(self) -> List[str]:
+        """A ring carries all traffic on its single dimension."""
+        return [self.dimension]
+
     def neighbors(self, node: int) -> List[int]:
+        """Ring successor (and predecessor when bidirectional)."""
         self.validate_node(node)
         nxt = (node + 1) % self.size
         prv = (node - 1) % self.size
         return [nxt, prv] if self.bidirectional else [nxt]
 
     def links(self) -> List[Tuple[int, int, str]]:
+        """Directed ring links (both directions when bidirectional)."""
         out: List[Tuple[int, int, str]] = []
         for n in range(self.size):
             out.append((n, (n + 1) % self.size, self.dimension))
@@ -87,31 +146,88 @@ class RingTopology(Topology):
 
 
 @dataclass(frozen=True)
-class SwitchTopology(Topology):
-    """All endpoints hang off one logical switch (e.g. an NVSwitch group)."""
+class SingleHopTopology(Topology):
+    """Shared structure of fabrics where every endpoint pair is one hop apart.
+
+    Subclasses set ``_kind`` (the cache-key/name tag) and a ``dimension``
+    default; nodes, neighbor and link enumeration are identical for a switch
+    group and a fully-connected fabric — only the physical link class their
+    dimension maps to differs.
+    """
 
     size: int
     dimension: str = "switch"
 
+    #: Cache-key/name tag; subclasses override.
+    _kind = "single_hop"
+
     def __post_init__(self) -> None:
         if self.size < 2:
-            raise TopologyError(f"a switch needs at least 2 endpoints, got {self.size}")
+            raise TopologyError(
+                f"a {self._kind} fabric needs at least 2 endpoints, got {self.size}"
+            )
 
     @property
     def num_nodes(self) -> int:
+        """Number of endpoints in the fabric."""
         return self.size
 
+    def cache_key(self) -> Tuple:
+        """Plans depend on the fabric kind, size and dimension label."""
+        return (self._kind, self.size, self.dimension)
+
+    def active_dimensions(self) -> List[str]:
+        """All traffic rides the fabric's single dimension."""
+        return [self.dimension]
+
     def neighbors(self, node: int) -> List[int]:
+        """Every other endpoint is one hop away."""
         self.validate_node(node)
         return [n for n in range(self.size) if n != node]
 
     def links(self) -> List[Tuple[int, int, str]]:
+        """One directed logical link per ordered endpoint pair."""
         return [
             (a, b, self.dimension)
             for a in range(self.size)
             for b in range(self.size)
             if a != b
         ]
+
+
+@dataclass(frozen=True)
+class SwitchTopology(SingleHopTopology):
+    """All endpoints hang off one logical switch (e.g. an NVSwitch group)."""
+
+    dimension: str = "switch"
+    _kind = "switch"
+
+    @property
+    def name(self) -> str:
+        """``switch-<size>`` identifier."""
+        return f"switch-{self.size}"
+
+
+@dataclass(frozen=True)
+class FullyConnected(SingleHopTopology):
+    """Dedicated point-to-point links between every pair of endpoints.
+
+    Unlike :class:`SwitchTopology` — which funnels all traffic through one
+    shared switch fabric provisioned with intra-package-class ports — a
+    fully-connected topology gives each endpoint pair its own
+    inter-package-class link, so single-hop algorithms (direct all-to-all,
+    halving-doubling, trees) never forward traffic through intermediate
+    nodes.  The per-NPU aggregate bandwidth is still modelled as one
+    dimension pipe (``direct``) by the symmetric fabric.
+    """
+
+    dimension: str = "direct"
+    _kind = "fully_connected"
+
+    @property
+    def name(self) -> str:
+        """``fc-<size>`` identifier."""
+        return f"fc-{self.size}"
 
 
 class Torus3D(Topology):
@@ -142,17 +258,30 @@ class Torus3D(Topology):
     # ------------------------------------------------------------------
     @property
     def shape(self) -> Coordinate:
+        """The ``(L, V, H)`` dimension sizes."""
         return (self.local, self.vertical, self.horizontal)
 
     @property
     def num_nodes(self) -> int:
+        """Total NPU count (``L * V * H``)."""
         return self.local * self.vertical * self.horizontal
 
     @property
     def name(self) -> str:
+        """The paper's ``LxVxH`` shape notation."""
         return f"{self.local}x{self.vertical}x{self.horizontal}"
 
+    def cache_key(self) -> Tuple:
+        """Torus plans depend only on the shape.
+
+        :class:`Torus2D` deliberately shares this key family: a ``VxH`` 2D
+        torus behaves identically to the degenerate ``1xVxH`` 3D torus, so
+        their plans may be cached interchangeably.
+        """
+        return ("torus", self.local, self.vertical, self.horizontal)
+
     def dimension_size(self, dim: str) -> int:
+        """Ring size of dimension ``dim`` ('local' | 'vertical' | 'horizontal')."""
         sizes = {
             "local": self.local,
             "vertical": self.vertical,
@@ -163,6 +292,7 @@ class Torus3D(Topology):
         return sizes[dim]
 
     def dimension_sizes(self) -> Dict[str, int]:
+        """Mapping of every torus dimension to its ring size."""
         return {d: self.dimension_size(d) for d in TORUS_DIMENSIONS}
 
     def active_dimensions(self) -> List[str]:
@@ -226,6 +356,7 @@ class Torus3D(Topology):
     # Topology protocol
     # ------------------------------------------------------------------
     def neighbors(self, node: int) -> List[int]:
+        """Distinct ring neighbors of ``node`` across all active dimensions."""
         self.validate_node(node)
         seen = []
         for dim in self.active_dimensions():
@@ -240,6 +371,7 @@ class Torus3D(Topology):
         return seen
 
     def links(self) -> List[Tuple[int, int, str]]:
+        """Every directed ring link of the torus as ``(src, dst, dimension)``."""
         out: List[Tuple[int, int, str]] = []
         for node in self.nodes():
             for dim in self.active_dimensions():
@@ -253,8 +385,101 @@ class Torus3D(Topology):
         return f"Torus3D({self.name}, nodes={self.num_nodes})"
 
 
+class Torus2D(Torus3D):
+    """A ``VxH`` torus of single-NPU packages.
+
+    Behaviourally a degenerate :class:`Torus3D` with ``local=1`` (no
+    intra-package ring), kept as its own class so sweeps can name it
+    directly; it shares the torus plan cache with the equivalent ``1xVxH``
+    3D shape.
+    """
+
+    def __init__(self, vertical: int, horizontal: int) -> None:
+        super().__init__(1, vertical, horizontal)
+
+    @property
+    def name(self) -> str:
+        """``VxH`` shape notation (the implicit local dimension is omitted)."""
+        return f"{self.vertical}x{self.horizontal}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Torus2D({self.name}, nodes={self.num_nodes})"
+
+
 def torus_from_shape(shape: Sequence[int]) -> Torus3D:
     """Build a :class:`Torus3D` from an ``(L, V, H)`` shape tuple."""
     if len(shape) != 3:
         raise TopologyError(f"torus shape must have 3 dimensions, got {shape!r}")
     return Torus3D(int(shape[0]), int(shape[1]), int(shape[2]))
+
+
+#: Spec-string prefixes accepted by :func:`topology_from_spec`.
+TOPOLOGY_KINDS = ("torus", "torus2d", "ring", "switch", "fc")
+
+
+def _parse_dims(text: str, expected: int, spec: str) -> List[int]:
+    parts = text.split("x")
+    if len(parts) != expected or not all(p.isdigit() for p in parts):
+        raise TopologyError(
+            f"invalid topology spec {spec!r}: expected {expected} 'x'-separated "
+            f"integer dimensions, got {text!r}"
+        )
+    return [int(p) for p in parts]
+
+
+def topology_from_spec(spec: Union[str, Sequence[int], Topology]) -> Topology:
+    """Parse a topology specification into a :class:`Topology` instance.
+
+    Accepted forms:
+
+    * a :class:`Topology` instance (returned unchanged),
+    * an ``(L, V, H)`` sequence (a 3D torus shape),
+    * a string ``"<kind>:<params>"``:
+
+      ========== ========================= =========================
+      Spec       Meaning                   Example
+      ========== ========================= =========================
+      torus      ``LxVxH`` 3D torus        ``torus:4x4x4``
+      torus2d    ``VxH`` 2D torus          ``torus2d:8x8``
+      ring       flat ring of N NPUs       ``ring:16``
+      switch     N NPUs on one switch      ``switch:64``
+      fc         N fully-connected NPUs    ``fc:16``
+      ========== ========================= =========================
+
+    A bare ``"LxVxH"`` string (no prefix) is accepted as a 3D torus for
+    symmetry with the paper's notation.
+    """
+    if isinstance(spec, Topology):
+        return spec
+    if not isinstance(spec, str):
+        return torus_from_shape(tuple(spec))
+    text = spec.strip().lower()
+    if ":" not in text:
+        if "x" in text:
+            return torus_from_shape(_parse_dims(text, 3, spec))
+        raise TopologyError(
+            f"invalid topology spec {spec!r}; expected '<kind>:<params>' with "
+            f"kind in {TOPOLOGY_KINDS} or a bare 'LxVxH' torus shape"
+        )
+    kind, _, params = text.partition(":")
+    if kind == "torus":
+        return torus_from_shape(_parse_dims(params, 3, spec))
+    if kind == "torus2d":
+        v, h = _parse_dims(params, 2, spec)
+        return Torus2D(v, h)
+    if kind in ("ring", "switch", "fc", "fully_connected"):
+        if not params.isdigit():
+            raise TopologyError(
+                f"invalid topology spec {spec!r}: {kind!r} takes a single "
+                f"integer node count, got {params!r}"
+            )
+        size = int(params)
+        if kind == "ring":
+            return RingTopology(size)
+        if kind == "switch":
+            return SwitchTopology(size)
+        return FullyConnected(size)
+    raise TopologyError(
+        f"unknown topology kind {kind!r} in spec {spec!r}; "
+        f"expected one of {TOPOLOGY_KINDS}"
+    )

@@ -27,11 +27,12 @@ from typing import Dict, Mapping, Optional, Tuple
 
 from repro.analysis.bandwidth import measure_network_drive
 from repro.collectives.base import CollectiveOp
+from repro.collectives.planner import AUTO, algorithms
 from repro.config.presets import make_system
 from repro.config.system import AceConfig, SystemConfig
 from repro.core.area_power import AceAreaPowerModel
 from repro.errors import ConfigurationError
-from repro.network.topology import Torus3D, torus_from_shape
+from repro.network.topology import Topology, topology_from_spec, torus_from_shape
 from repro.training.loop import simulate_training
 from repro.workloads.registry import build_workload
 
@@ -40,7 +41,12 @@ JOB_KINDS = ("training", "network_drive", "area_power")
 #: Override sections that map onto the nested :class:`SystemConfig` dataclasses.
 _CONFIG_SECTIONS = ("compute", "memory", "network", "ace", "policy")
 #: Top-level scalar SystemConfig fields that may be overridden directly.
-_CONFIG_SCALARS = ("name", "collective_scheduling", "collective_launch_overhead_ns")
+_CONFIG_SCALARS = (
+    "name",
+    "collective_scheduling",
+    "collective_launch_overhead_ns",
+    "collective_algorithm",
+)
 
 
 def _normalize_overrides(overrides: Mapping[str, object]) -> Dict[str, object]:
@@ -112,6 +118,13 @@ class SimJob:
     num_npus: Optional[int] = None
     #: Explicit ``(L, V, H)`` torus shape; takes precedence over ``num_npus``.
     topology: Optional[Tuple[int, int, int]] = None
+    #: Topology spec string (``"torus:4x4x4"``, ``"ring:16"``, ``"switch:64"``,
+    #: ``"fc:16"``, ``"torus2d:8x8"``); takes precedence over ``topology`` and
+    #: ``num_npus`` and is how non-torus fabrics are requested.
+    fabric: Optional[str] = None
+    #: Collective algorithm for the planner ("auto" = cheapest feasible).
+    #: Shorthand for the ``collective_algorithm`` config override.
+    algorithm: str = AUTO
     chunk_bytes: Optional[int] = None
     # -- training jobs ---------------------------------------------------
     workload: Optional[str] = None
@@ -134,10 +147,30 @@ class SimJob:
                     f"topology must be an (L, V, H) triple, got {self.topology!r}"
                 )
             object.__setattr__(self, "topology", shape)
+        if self.algorithm != AUTO and self.algorithm not in algorithms():
+            raise ConfigurationError(
+                f"unknown collective algorithm {self.algorithm!r}; expected "
+                f"'auto' or one of {list(algorithms())}"
+            )
+        override_algorithm = self.overrides.get("collective_algorithm")
+        if (
+            self.algorithm != AUTO
+            and override_algorithm is not None
+            and override_algorithm != self.algorithm
+        ):
+            raise ConfigurationError(
+                f"conflicting collective algorithms: algorithm={self.algorithm!r} "
+                f"vs overrides['collective_algorithm']={override_algorithm!r}; "
+                f"set only one"
+            )
+        if self.fabric is not None:
+            # Validate eagerly so a bad spec fails at submission, not in a worker.
+            topology_from_spec(self.fabric)
         if self.kind in ("training", "network_drive"):
-            if self.topology is None and self.num_npus is None:
+            if self.fabric is None and self.topology is None and self.num_npus is None:
                 raise ConfigurationError(
-                    f"{self.kind} jobs need either num_npus or an explicit topology"
+                    f"{self.kind} jobs need a fabric spec, an explicit topology, "
+                    f"or num_npus"
                 )
             if self.chunk_bytes is not None and self.chunk_bytes <= 0:
                 raise ConfigurationError("chunk_bytes must be positive")
@@ -169,6 +202,8 @@ class SimJob:
                           for k, v in self.overrides.items()},
             "num_npus": self.num_npus,
             "topology": list(self.topology) if self.topology is not None else None,
+            "fabric": self.fabric,
+            "algorithm": self.algorithm,
             "chunk_bytes": self.chunk_bytes,
             "workload": self.workload,
             "iterations": self.iterations,
@@ -241,10 +276,20 @@ class SimJob:
                 policy,
                 comm_memory_bandwidth_gbps=changes["ace"].memory_bandwidth_gbps,
             )
+        # The job-level algorithm shorthand; an explicit collective_algorithm
+        # override wins when the shorthand is left at "auto".
+        if self.algorithm != AUTO:
+            changes["collective_algorithm"] = self.algorithm
         return system.with_overrides(**changes) if changes else system
 
-    def build_topology(self) -> Torus3D:
-        """The torus this job runs on (explicit shape or canonical paper shape)."""
+    def build_topology(self) -> Topology:
+        """The fabric this job runs on.
+
+        Precedence: the ``fabric`` spec string, then the explicit ``(L, V, H)``
+        torus shape, then the paper's canonical shape for ``num_npus``.
+        """
+        if self.fabric is not None:
+            return topology_from_spec(self.fabric)
         if self.topology is not None:
             return torus_from_shape(self.topology)
         from repro.config.presets import torus_shape_for_npus
@@ -304,6 +349,8 @@ def training_job(
     workload: str,
     num_npus: Optional[int] = None,
     topology: Optional[Tuple[int, int, int]] = None,
+    fabric: Optional[str] = None,
+    algorithm: str = AUTO,
     iterations: int = 2,
     chunk_bytes: Optional[int] = None,
     overlap_embedding: bool = False,
@@ -316,6 +363,8 @@ def training_job(
         workload=workload,
         num_npus=num_npus,
         topology=topology,
+        fabric=fabric,
+        algorithm=algorithm,
         iterations=iterations,
         chunk_bytes=chunk_bytes,
         overlap_embedding=overlap_embedding,
@@ -328,17 +377,21 @@ def network_drive_job(
     payload_bytes: int,
     num_npus: Optional[int] = None,
     topology: Optional[Tuple[int, int, int]] = None,
+    fabric: Optional[str] = None,
+    algorithm: str = AUTO,
     chunk_bytes: Optional[int] = None,
     op: CollectiveOp = CollectiveOp.ALL_REDUCE,
     overrides: Optional[Mapping[str, object]] = None,
 ) -> SimJob:
-    """A single-collective network-drive job (Figs. 4-6, 9a)."""
+    """A single-collective network-drive job (Figs. 4-6, 9a, cross-topology)."""
     return SimJob(
         kind="network_drive",
         system=system,
         payload_bytes=payload_bytes,
         num_npus=num_npus,
         topology=topology,
+        fabric=fabric,
+        algorithm=algorithm,
         chunk_bytes=chunk_bytes,
         op=op.value if isinstance(op, CollectiveOp) else op,
         overrides=overrides or {},

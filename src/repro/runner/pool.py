@@ -94,17 +94,30 @@ def _execute_payload(payload_json: str) -> Tuple[str, object, float]:
 
 
 def _resolve_workers(workers: Union[int, str, None]) -> int:
+    """Parse a worker-count setting into a concrete process count.
+
+    Accepts a non-negative ``int`` or integer string (``0`` and ``1`` both
+    mean serial execution), ``"auto"`` (one worker per CPU) or ``None``
+    (same as ``"auto"``).  Anything else — e.g. a typo'd ``REPRO_WORKERS``
+    environment variable — raises a
+    :class:`~repro.errors.ConfigurationError` (a :class:`ValueError`
+    subclass) naming the offending value and the environment variable,
+    instead of surfacing ``int()``'s bare traceback.
+    """
     if workers in (None, "auto"):
         return os.cpu_count() or 1
     try:
         count = int(workers)
     except (TypeError, ValueError):
         raise ConfigurationError(
-            f"workers must be an integer or 'auto', got {workers!r} "
-            f"(check the {WORKERS_ENV} environment variable)"
+            f"workers must be a non-negative integer (e.g. 4) or 'auto', "
+            f"got {workers!r} (check the {WORKERS_ENV} environment variable)"
         ) from None
     if count < 0:
-        raise ConfigurationError(f"workers must be non-negative, got {workers!r}")
+        raise ConfigurationError(
+            f"workers must be non-negative, got {workers!r} "
+            f"(check the {WORKERS_ENV} environment variable)"
+        )
     return max(1, count)
 
 

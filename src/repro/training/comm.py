@@ -22,14 +22,14 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Union
 
 from repro.collectives.base import CollectiveOp, CollectivePlan
-from repro.collectives.planner import plan_collective
+from repro.collectives.planner import AUTO, algorithm_implements, plan_collective
 from repro.config.system import SystemConfig
 from repro.endpoint.base import Endpoint, PhaseWork
 from repro.endpoint.factory import make_endpoint
 from repro.errors import SchedulingError
 from repro.network.messages import split_payload
 from repro.network.symmetric import SymmetricFabric
-from repro.network.topology import Torus3D
+from repro.network.topology import Topology
 from repro.sim.engine import Simulator
 from repro.sim.process import Signal
 
@@ -82,7 +82,7 @@ class CollectiveExecutor:
         self,
         sim: Simulator,
         system: SystemConfig,
-        topology: Torus3D,
+        topology: Topology,
         endpoint: Optional[Endpoint] = None,
         fabric: Optional[SymmetricFabric] = None,
         chunk_bytes: Optional[int] = None,
@@ -109,8 +109,23 @@ class CollectiveExecutor:
     # Plans
     # ------------------------------------------------------------------
     def _plan(self, op: CollectiveOp) -> CollectivePlan:
+        """Plan for ``op``, honouring the system's collective-algorithm knob.
+
+        The knob pins the algorithm only for the operations it implements; a
+        workload's other collectives (e.g. DLRM's all-to-all when an
+        all-reduce algorithm is pinned) fall back to auto selection rather
+        than failing the whole simulation.
+        """
         if op not in self._plans:
-            self._plans[op] = plan_collective(op, self.topology)
+            algorithm = self.system.collective_algorithm
+            if algorithm != AUTO and not algorithm_implements(algorithm, op):
+                algorithm = AUTO
+            self._plans[op] = plan_collective(
+                op,
+                self.topology,
+                algorithm=algorithm,
+                network=self.system.network,
+            )
         return self._plans[op]
 
     # ------------------------------------------------------------------

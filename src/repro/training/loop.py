@@ -31,7 +31,7 @@ from repro.compute.npu import NpuComputeEngine
 from repro.config.presets import torus_shape_for_npus
 from repro.config.system import EndpointKind, SystemConfig
 from repro.errors import SimulationError
-from repro.network.topology import Torus3D, torus_from_shape
+from repro.network.topology import Topology, Torus3D, torus_from_shape
 from repro.sim.engine import Simulator
 from repro.sim.process import Process
 from repro.training.comm import CollectiveExecutor, CollectiveHandle
@@ -45,7 +45,7 @@ class TrainingLoop:
     def __init__(
         self,
         system: SystemConfig,
-        topology: Union[Torus3D, int, tuple],
+        topology: Union[Topology, int, tuple],
         workload: Workload,
         iterations: int = 2,
         chunk_bytes: Optional[int] = None,
@@ -261,9 +261,9 @@ class TrainingLoop:
         return result
 
 
-def _resolve_topology(topology: Union[Torus3D, int, tuple]) -> Torus3D:
-    """Accept a Torus3D, an NPU count, or an (L, V, H) shape."""
-    if isinstance(topology, Torus3D):
+def _resolve_topology(topology: Union[Topology, int, tuple]) -> Topology:
+    """Accept any Topology, an NPU count (canonical torus), or an (L, V, H) shape."""
+    if isinstance(topology, Topology):
         return topology
     if isinstance(topology, int):
         return torus_from_shape(torus_shape_for_npus(topology))
@@ -273,7 +273,7 @@ def _resolve_topology(topology: Union[Torus3D, int, tuple]) -> Torus3D:
 def simulate_training(
     system: SystemConfig,
     workload: Workload,
-    num_npus: Union[int, tuple, Torus3D] = 64,
+    num_npus: Union[int, tuple, Topology] = 64,
     iterations: int = 2,
     chunk_bytes: Optional[int] = None,
     overlap_embedding: bool = False,

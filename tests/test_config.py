@@ -195,3 +195,30 @@ class TestMemoryConfig:
             MemoryConfig(npu_memory_bandwidth_gbps=0)
         with pytest.raises(ConfigurationError):
             MemoryConfig(transaction_overhead_ns=-1)
+
+
+class TestCollectiveAlgorithmKnob:
+    def test_default_is_auto(self):
+        assert make_system("ace").collective_algorithm == "auto"
+
+    def test_make_system_pins_algorithm(self):
+        system = make_system("ace", algorithm="ring")
+        assert system.collective_algorithm == "ring"
+
+    def test_with_overrides_round_trip(self):
+        system = make_system("ideal").with_overrides(collective_algorithm="tree")
+        assert system.collective_algorithm == "tree"
+        assert system.describe()["algorithm"] == "tree"
+
+    def test_empty_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError, match="collective_algorithm"):
+            make_system("ace").with_overrides(collective_algorithm="")
+
+    def test_switch_and_direct_dimension_classes(self):
+        network = NetworkConfig()
+        assert network.dimension_bandwidth_gbps("switch") == network.local_ring_bandwidth_gbps
+        assert network.dimension_bandwidth_gbps("direct") == network.vertical_ring_bandwidth_gbps
+        assert network.dimension_latency_ns("switch") == network.intra_package_latency_ns
+        assert network.dimension_latency_ns("direct") == network.inter_package_latency_ns
+        with pytest.raises(ConfigurationError):
+            network.dimension_bandwidth_gbps("warp")

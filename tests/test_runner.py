@@ -340,3 +340,118 @@ class TestSimJobValidation:
     def test_outcome_ok_property(self):
         assert JobOutcome(job=area_power_job()).ok
         assert not JobOutcome(job=area_power_job(), error="boom").ok
+
+
+class TestWorkerParsing:
+    """REPRO_WORKERS-style worker counts parse helpfully or fail helpfully."""
+
+    @pytest.mark.parametrize("value, expected", [(4, 4), ("4", 4), (0, 1)])
+    def test_valid_counts(self, value, expected):
+        assert SweepRunner(workers=value).workers == expected
+
+    def test_auto_and_none_use_cpu_count(self):
+        assert SweepRunner(workers="auto").workers >= 1
+        assert SweepRunner(workers=None).workers >= 1
+
+    def test_garbage_raises_value_error_naming_the_env_var(self):
+        # A typo'd REPRO_WORKERS must raise a helpful ValueError, not
+        # surface int()'s bare traceback.
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            SweepRunner(workers="bananas")
+
+    def test_garbage_is_also_a_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(workers="1.5ish")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SweepRunner(workers=-2)
+
+    def test_default_runner_env_parsing(self, monkeypatch):
+        from repro.runner import pool
+
+        monkeypatch.setenv(pool.WORKERS_ENV, "not-a-number")
+        pool.set_default_runner(None)
+        try:
+            with pytest.raises(ValueError, match=pool.WORKERS_ENV):
+                pool.default_runner()
+        finally:
+            pool.set_default_runner(None)
+
+
+class TestFabricAndAlgorithmKnobs:
+    """The cross-topology job fields: fabric specs and algorithm pinning."""
+
+    def test_fabric_spec_builds_the_requested_topology(self):
+        from repro.network.topology import SwitchTopology
+
+        job = network_drive_job("ace", MB, fabric="switch:16")
+        assert isinstance(job.build_topology(), SwitchTopology)
+
+    def test_fabric_takes_precedence_over_num_npus(self):
+        job = network_drive_job("ace", MB, num_npus=64, fabric="ring:8")
+        assert job.build_topology().num_nodes == 8
+
+    def test_invalid_fabric_spec_fails_at_submission(self):
+        with pytest.raises(ConfigurationError):
+            network_drive_job("ace", MB, fabric="mesh:4x4")
+
+    def test_unknown_algorithm_fails_at_submission(self):
+        with pytest.raises(ConfigurationError, match="algorithm"):
+            network_drive_job("ace", MB, num_npus=16, algorithm="bruck")
+
+    def test_algorithm_reaches_the_system_config(self):
+        job = network_drive_job("ace", MB, num_npus=16, algorithm="ring")
+        assert job.build_system().collective_algorithm == "ring"
+
+    def test_algorithm_roundtrips_through_json(self):
+        job = network_drive_job("ace", MB, fabric="fc:16", algorithm="tree")
+        rebuilt = SimJob.from_json(job.to_json())
+        assert rebuilt == job
+        assert rebuilt.spec_hash() == job.spec_hash()
+
+    def test_conflicting_algorithm_and_override_rejected(self):
+        with pytest.raises(ConfigurationError, match="conflicting"):
+            network_drive_job(
+                "ace", MB, num_npus=16, algorithm="ring",
+                overrides={"collective_algorithm": "tree"},
+            )
+        # Agreeing values are fine.
+        job = network_drive_job(
+            "ace", MB, num_npus=16, algorithm="ring",
+            overrides={"collective_algorithm": "ring"},
+        )
+        assert job.build_system().collective_algorithm == "ring"
+
+    def test_distinct_algorithms_hash_differently(self):
+        ring = network_drive_job("ace", MB, fabric="switch:16", algorithm="ring")
+        tree = network_drive_job("ace", MB, fabric="switch:16", algorithm="tree")
+        assert ring.spec_hash() != tree.spec_hash()
+
+    def test_switch_drive_executes(self):
+        result = SweepRunner(workers=1).run_one(
+            network_drive_job("ace", MB, fabric="switch:8", chunk_bytes=256 * KB)
+        )
+        assert result.duration_ns > 0
+
+    def test_pinned_all_reduce_algorithm_does_not_break_all_to_all_workloads(self):
+        # DLRM issues all_to_all as well; pinning an all-reduce algorithm
+        # must scope to the ops it implements, not fail the simulation.
+        result = SweepRunner(workers=1).run_one(
+            training_job(
+                "ace", "dlrm", num_npus=16, algorithm="hierarchical",
+                iterations=1, chunk_bytes=MB,
+            )
+        )
+        assert result.iteration_time_us > 0
+
+    def test_grid_jobs_rejects_fabric_with_multiple_sizes(self):
+        from repro.experiments.common import grid_jobs
+
+        with pytest.raises(ConfigurationError, match="single-entry"):
+            grid_jobs(sizes=(16, 64), fabric="switch:16")
+        jobs = grid_jobs(
+            systems=("ace",), workloads=("resnet50",), sizes=(16,),
+            fabric="switch:16",
+        )
+        assert len(jobs) == 1 and jobs[0].fabric == "switch:16"

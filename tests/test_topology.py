@@ -1,9 +1,17 @@
-"""Torus, ring and switch topologies."""
+"""Torus, ring, switch and fully-connected topologies plus the spec parser."""
 
 import pytest
 
 from repro.errors import TopologyError
-from repro.network.topology import RingTopology, SwitchTopology, Torus3D, torus_from_shape
+from repro.network.topology import (
+    FullyConnected,
+    RingTopology,
+    SwitchTopology,
+    Torus2D,
+    Torus3D,
+    topology_from_spec,
+    torus_from_shape,
+)
 
 
 class TestTorus3D:
@@ -104,3 +112,66 @@ class TestSwitchTopology:
     def test_too_small(self):
         with pytest.raises(TopologyError):
             SwitchTopology(1)
+
+
+class TestFullyConnected:
+    def test_full_connectivity(self):
+        fc = FullyConnected(8)
+        assert len(fc.neighbors(3)) == 7
+        assert len(fc.links()) == 8 * 7
+        assert fc.active_dimensions() == ["direct"]
+        assert fc.name == "fc-8"
+
+    def test_too_small(self):
+        with pytest.raises(TopologyError):
+            FullyConnected(1)
+
+    def test_cache_key_distinct_from_switch(self):
+        assert FullyConnected(8).cache_key() != SwitchTopology(8).cache_key()
+
+
+class TestTorus2D:
+    def test_is_degenerate_torus3d(self):
+        torus = Torus2D(4, 4)
+        assert torus.num_nodes == 16
+        assert torus.shape == (1, 4, 4)
+        assert torus.active_dimensions() == ["vertical", "horizontal"]
+        assert torus.name == "4x4"
+
+    def test_shares_cache_key_with_equivalent_3d_shape(self):
+        assert Torus2D(4, 4).cache_key() == Torus3D(1, 4, 4).cache_key()
+
+    def test_neighbors_match_degenerate_3d(self):
+        assert Torus2D(4, 4).neighbors(5) == Torus3D(1, 4, 4).neighbors(5)
+
+
+class TestTopologyFromSpec:
+    @pytest.mark.parametrize(
+        "spec, cls, nodes",
+        [
+            ("torus:4x4x4", Torus3D, 64),
+            ("4x2x2", Torus3D, 16),
+            ("torus2d:8x8", Torus2D, 64),
+            ("ring:16", RingTopology, 16),
+            ("switch:64", SwitchTopology, 64),
+            ("fc:16", FullyConnected, 16),
+        ],
+    )
+    def test_valid_specs(self, spec, cls, nodes):
+        topology = topology_from_spec(spec)
+        assert isinstance(topology, cls)
+        assert topology.num_nodes == nodes
+
+    def test_topology_instance_passthrough(self, torus_444):
+        assert topology_from_spec(torus_444) is torus_444
+
+    def test_shape_tuple_accepted(self):
+        assert topology_from_spec((4, 2, 2)).num_nodes == 16
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["mesh:4x4", "torus:4x4", "ring:banana", "ring:", "16", "torus2d:2x2x2"],
+    )
+    def test_invalid_specs_rejected(self, spec):
+        with pytest.raises(TopologyError):
+            topology_from_spec(spec)
