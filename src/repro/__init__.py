@@ -61,6 +61,12 @@ from repro.collectives import (
     plan_collective,
     supported_algorithms,
 )
+from repro.network.backend import (
+    NetworkBackend,
+    backend_names,
+    make_network_backend,
+    resolve_backend_name,
+)
 from repro.network.topology import (
     FullyConnected,
     RingTopology,
@@ -88,7 +94,7 @@ from repro.workloads import (
     build_workload,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AceConfig",
@@ -110,6 +116,10 @@ __all__ = [
     "algorithms",
     "plan_collective",
     "supported_algorithms",
+    "NetworkBackend",
+    "backend_names",
+    "make_network_backend",
+    "resolve_backend_name",
     "FullyConnected",
     "RingTopology",
     "SwitchTopology",

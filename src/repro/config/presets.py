@@ -184,7 +184,12 @@ _FACTORIES = {
 }
 
 
-def make_system(name: str, algorithm: Optional[str] = None, **overrides) -> SystemConfig:
+def make_system(
+    name: str,
+    algorithm: Optional[str] = None,
+    backend: Optional[str] = None,
+    **overrides,
+) -> SystemConfig:
     """Build one of the Table VI configurations by name.
 
     ``name`` accepts the canonical snake_case identifiers
@@ -192,7 +197,9 @@ def make_system(name: str, algorithm: Optional[str] = None, **overrides) -> Syst
     labels (``BaselineCommOpt``, ``ACE``, ``Ideal``).  ``algorithm`` pins the
     collective algorithm the planner uses for this system (default: keep the
     preset's ``"auto"``, i.e. the cheapest feasible plan per topology —
-    the paper's hierarchical/direct choices on the torus).
+    the paper's hierarchical/direct choices on the torus).  ``backend``
+    selects the network model (``"symmetric" | "detailed" | "auto"``;
+    default: keep the preset's ``"symmetric"``, the paper's sweep vehicle).
     """
     key = name.strip()
     normalized = {
@@ -212,4 +219,6 @@ def make_system(name: str, algorithm: Optional[str] = None, **overrides) -> Syst
     system = factory(**overrides)
     if algorithm is not None:
         system = system.with_overrides(collective_algorithm=algorithm)
+    if backend is not None:
+        system = system.with_overrides(network_backend=backend)
     return system

@@ -314,6 +314,17 @@ class SystemConfig:
     #: to auto selection.  Validated against the registry when the first plan
     #: is requested.
     collective_algorithm: str = "auto"
+    #: Network model executing the collective traffic: "symmetric" (the fast
+    #: representative-NPU analytical model, the default and the paper's sweep
+    #: vehicle), "detailed" (per-link FIFO serialization with hop-by-hop
+    #: contention; small-system validation and per-link observability), or
+    #: "auto" (detailed at or below ``network_backend_auto_threshold`` NPUs,
+    #: symmetric above).  Validated against the backend registry when the
+    #: executor builds the fabric.
+    network_backend: str = "symmetric"
+    #: Largest NPU count the "auto" backend still simulates with the
+    #: detailed per-link model (the paper validates small, sweeps large).
+    network_backend_auto_threshold: int = 32
     #: Fixed overhead from issuing a collective until its first chunk can be
     #: processed.  For the baselines this is the communication-kernel launch
     #: and scheduling cost on a busy GPU (Section III measures multi-us
@@ -331,6 +342,16 @@ class SystemConfig:
             raise ConfigurationError(
                 f"collective_algorithm must be a non-empty algorithm name or "
                 f"'auto', got {self.collective_algorithm!r}"
+            )
+        if not self.network_backend or not isinstance(self.network_backend, str):
+            raise ConfigurationError(
+                f"network_backend must be a non-empty backend name or 'auto', "
+                f"got {self.network_backend!r}"
+            )
+        if self.network_backend_auto_threshold <= 0:
+            raise ConfigurationError(
+                f"network_backend_auto_threshold must be positive, got "
+                f"{self.network_backend_auto_threshold}"
             )
         if self.policy.comm_sms > self.compute.num_sms:
             raise ConfigurationError(
@@ -419,6 +440,7 @@ class SystemConfig:
             "network_injection_bw_gbps": self.network.total_injection_bandwidth_gbps,
             "scheduling": self.collective_scheduling,
             "algorithm": self.collective_algorithm,
+            "network_backend": self.network_backend,
         }
 
 

@@ -28,9 +28,14 @@ table4    Table IV — ACE area and power
 :mod:`repro.experiments.cross_topology` extends past the paper: it sweeps
 (topology x collective algorithm x platform size) through the planner
 registry and the sweep runner; see ``run_cross_topology``.
+:mod:`repro.experiments.backend_validation` reproduces the paper's
+model-validation methodology: every (workload x topology x collective) cell
+runs on both network backends and the symmetric model must track the
+detailed one within 5 % on <= 32-NPU systems; see ``run_backend_validation``.
 """
 
 from repro.experiments import common
+from repro.experiments.backend_validation import run_backend_validation
 from repro.experiments.cross_topology import run_cross_topology
 from repro.experiments.fig4_microbench import run_fig4
 from repro.experiments.fig5_membw_sweep import run_fig5
@@ -43,6 +48,7 @@ from repro.experiments.table4_area import run_table4
 
 __all__ = [
     "common",
+    "run_backend_validation",
     "run_cross_topology",
     "run_fig4",
     "run_fig5",

@@ -60,6 +60,7 @@ def grid_jobs(
     overlap_embedding: bool = False,
     fabric: Optional[str] = None,
     algorithm: str = "auto",
+    backend: Optional[str] = None,
 ) -> List[SimJob]:
     """Job specs for every (system, workload, size) grid cell, in grid order.
 
@@ -68,7 +69,9 @@ def grid_jobs(
     (default: planner auto-selection) — together they let the paper's grids
     be re-run on alternative fabrics.  A fabric spec fixes the platform size,
     so it requires a single-entry ``sizes`` (otherwise every "size" cell
-    would silently be the same simulation).
+    would silently be the same simulation).  ``backend`` selects the network
+    model for every cell (``"symmetric" | "detailed" | "auto"``; default:
+    the preset's symmetric model).
     """
     if fabric is not None and len(set(sizes)) > 1:
         raise ConfigurationError(
@@ -88,6 +91,7 @@ def grid_jobs(
                         num_npus=None if fabric else num_npus,
                         fabric=fabric,
                         algorithm=algorithm,
+                        backend=backend,
                         iterations=iterations,
                         chunk_bytes=chunk,
                         overlap_embedding=overlap_embedding,
@@ -105,6 +109,7 @@ def run_grid(
     overlap_embedding: bool = False,
     fabric: Optional[str] = None,
     algorithm: str = "auto",
+    backend: Optional[str] = None,
     runner: Optional[SweepRunner] = None,
 ) -> List[TrainingResult]:
     """Simulate every (system, workload, size) combination and return results."""
@@ -119,6 +124,7 @@ def run_grid(
             overlap_embedding=overlap_embedding,
             fabric=fabric,
             algorithm=algorithm,
+            backend=backend,
         )
     )
 

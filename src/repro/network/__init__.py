@@ -1,13 +1,20 @@
 """Accelerator Fabric (AF) network models.
 
-Two backends are provided:
+Execution backends implement the :class:`~repro.network.backend.NetworkBackend`
+protocol and are selected by name (``backend="symmetric" | "detailed" |
+"auto"``) through :func:`~repro.network.backend.make_network_backend`:
 
-* :class:`~repro.network.fabric.FabricSimulator` — a per-message, multi-node
-  event-driven model with explicit links and XYZ routing.  Used for small
-  systems, all-to-all traffic and for validating the fast backend.
-* :class:`~repro.network.symmetric.SymmetricFabric` — a single
-  representative-node model that exploits the symmetry of the paper's
-  topologies and collectives.  Used for the large scaling sweeps.
+* :class:`~repro.network.symmetric.SymmetricFabric` (``"symmetric"``) — a
+  single representative-node analytical model that exploits the symmetry of
+  the paper's topologies and collectives.  Used for the large scaling sweeps.
+* :class:`~repro.network.detailed.DetailedBackend` (``"detailed"``) — the
+  representative NPU's physical port links with per-link FIFO serialization
+  and hop-by-hop store-and-forward contention.  Used for small-system
+  validation of the symmetric model and per-link observability.
+
+:class:`~repro.network.fabric.FabricSimulator` is the standalone multi-node
+per-message model with explicit links and XYZ routing, used for routing
+studies and unit tests that need every directed link of the topology.
 """
 
 from repro.network.topology import (
@@ -19,10 +26,22 @@ from repro.network.topology import (
     Torus3D,
     topology_from_spec,
 )
+from repro.network.backend import (
+    AUTO_BACKEND,
+    DEFAULT_AUTO_NPU_THRESHOLD,
+    MAX_DETAILED_NPUS,
+    NetworkBackend,
+    backend_names,
+    make_network_backend,
+    register_backend,
+    resolve_backend_name,
+    validate_backend_name,
+)
 from repro.network.links import Link, LinkKind
 from repro.network.messages import Chunk, Message, Packet
 from repro.network.routing import xyz_route, ring_distance
 from repro.network.fabric import FabricSimulator
+from repro.network.detailed import DetailedBackend
 from repro.network.symmetric import DimensionPipe, SymmetricFabric
 
 __all__ = [
@@ -33,6 +52,15 @@ __all__ = [
     "Torus2D",
     "Torus3D",
     "topology_from_spec",
+    "AUTO_BACKEND",
+    "DEFAULT_AUTO_NPU_THRESHOLD",
+    "MAX_DETAILED_NPUS",
+    "NetworkBackend",
+    "backend_names",
+    "make_network_backend",
+    "register_backend",
+    "resolve_backend_name",
+    "validate_backend_name",
     "Link",
     "LinkKind",
     "Chunk",
@@ -41,6 +69,7 @@ __all__ = [
     "xyz_route",
     "ring_distance",
     "FabricSimulator",
+    "DetailedBackend",
     "DimensionPipe",
     "SymmetricFabric",
 ]

@@ -1,0 +1,333 @@
+"""Detailed per-link network backend (message-level, contention-aware).
+
+This is the ``"detailed"`` :class:`~repro.network.backend.NetworkBackend`:
+the execution-grade promotion of the message-level fabric model
+(:mod:`repro.network.fabric`) into the training loop.  Where the
+``"symmetric"`` backend aggregates each fabric dimension into one analytical
+pipe, this backend instantiates the representative NPU's *physical ports* —
+one :class:`~repro.network.links.Link` per provisioned link of each active
+dimension (two 200 GB/s intra-package links for ``local``/``switch``, two
+25 GB/s inter-package links for ``vertical``/``horizontal``/``direct`` under
+Table V) — and moves every transfer hop by hop:
+
+* a phase of ``steps`` ring steps moves its bytes as Table III *messages*
+  (8 KB by default): a message of step ``s + 1`` cannot start serialising
+  until the corresponding message of step ``s`` has fully arrived at the
+  next hop (serialization **plus** link latency) — hop-by-hop
+  store-and-forward at message granularity, with consecutive messages of
+  one step pipelining behind each other exactly as the paper's
+  packet-level model does;
+* each message splits across the dimension's parallel ports, and every port
+  is an independent FIFO :class:`~repro.sim.resources.BandwidthResource` —
+  concurrent chunks and collectives contend per link, and a message from
+  another collective can slot into the latency gaps between one chunk's
+  steps (the fine-grained interleaving the symmetric pipe cannot express);
+* every port records busy intervals, so per-link utilization timelines and
+  per-dimension byte counts are observable after a run.
+
+Symmetry argument
+-----------------
+All workloads and topologies evaluated here are symmetric: every NPU runs
+the same schedule and sees the same link provisioning, so every NPU's ports
+carry byte-for-byte the same timeline as the representative NPU's ports.
+Simulating the representative NPU's links *is* the full per-link simulation,
+at 1/N the cost; this is the same "from node X's view" reduction the paper
+itself uses, applied per physical link instead of per dimension.
+
+In the uncontended case the arithmetic matches the symmetric backend
+exactly (total time = bytes / aggregate-dimension-bandwidth + steps x link
+latency); under contention the two models diverge only through FIFO
+ordering and gap utilization, which is precisely what
+``experiments/backend_validation.py`` bounds (<= 5 % on <= 32-NPU systems,
+the repo's analogue of the paper's model-validation claim).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.config.system import DIMENSION_LINK_CLASS, NetworkConfig
+from repro.errors import TopologyError
+from repro.network.backend import NetworkBackend, register_backend
+from repro.network.links import Link
+from repro.network.topology import Topology
+from repro.sim.engine import Simulator
+from repro.sim.resources import Reservation
+from repro.sim.trace import IntervalTracer, UtilizationTrace
+
+
+#: Default store-and-forward message size (Table III: 8 KB messages).
+DEFAULT_MESSAGE_BYTES = 8 * 1024
+
+#: Upper bound on messages simulated per ring step.  Very large transfers
+#: coarsen to ``step_bytes / MAX_MESSAGES_PER_STEP``-sized messages: the
+#: hop-by-hop pipeline is fully expressed after a handful of messages per
+#: step, so finer carving multiplies event count without changing timing
+#: beyond the pipeline-fill term (< 1/MAX of a step's serialization).
+MAX_MESSAGES_PER_STEP = 8
+
+
+@register_backend("detailed")
+class DetailedBackend(NetworkBackend):
+    """Per-port, per-message network model for the representative NPU.
+
+    The executor drives this backend through the event-mode
+    :meth:`transfer` API (``event_driven = True``): every message hop is
+    reserved at the simulated time its data actually arrives, so the port
+    FIFOs see all traffic — across chunks, collectives and ring steps — in
+    chronological order and stay work-conserving.  The timeline-mode
+    :meth:`reserve` remains available for isolated transfers and tests; it
+    books all hops of one transfer up front and therefore cannot let
+    *later* traffic backfill the latency gaps between this transfer's own
+    steps.
+    """
+
+    event_driven = True
+
+    def __init__(
+        self,
+        topology: Topology,
+        network: NetworkConfig,
+        message_bytes: int = DEFAULT_MESSAGE_BYTES,
+    ) -> None:
+        if message_bytes <= 0:
+            raise TopologyError(
+                f"message_bytes must be positive, got {message_bytes}"
+            )
+        self.topology = topology
+        self.network = network
+        self.message_bytes = message_bytes
+        self._ports: Dict[str, List[Link]] = {}
+        for dim in topology.active_dimensions():
+            count = self._ports_for_dimension(dim, network)
+            self._ports[dim] = [
+                Link(src=0, dst=port, dimension=dim, network=network, traced=True)
+                for port in range(count)
+            ]
+        if not self._ports:
+            raise TopologyError(
+                f"topology {topology.name!r} has no active dimensions to model"
+            )
+
+    @staticmethod
+    def _ports_for_dimension(dimension: str, network: NetworkConfig) -> int:
+        """Number of physical links the representative NPU drives on ``dimension``.
+
+        Follows the Table V provisioning that
+        :meth:`~repro.config.system.NetworkConfig.dimension_bandwidth_gbps`
+        aggregates, so the two backends can never disagree on a dimension's
+        total bandwidth.
+        """
+        if DIMENSION_LINK_CLASS.get(dimension) == "intra_package":
+            return max(1, network.intra_package_links)
+        return max(1, network.inter_package_links_per_dim)
+
+    # ------------------------------------------------------------------
+    # NetworkBackend protocol
+    # ------------------------------------------------------------------
+    @property
+    def dimensions(self) -> List[str]:
+        """Names of the dimensions with instantiated ports."""
+        return list(self._ports)
+
+    def has_dimension(self, dimension: str) -> bool:
+        """Whether ``dimension`` has physical ports in this fabric."""
+        return dimension in self._ports
+
+    def ports(self, dimension: str) -> List[Link]:
+        """The representative NPU's physical :class:`Link` ports on ``dimension``."""
+        try:
+            return self._ports[dimension]
+        except KeyError:
+            raise TopologyError(
+                f"dimension {dimension!r} is not active in fabric {self.topology.name}"
+            ) from None
+
+    def _carve(self, dimension: str, num_bytes: float, steps: int):
+        """Shared message-carving policy of :meth:`reserve` and :meth:`transfer`.
+
+        Returns ``(ports, steps, num_messages, bytes_per_port)`` — both
+        execution modes must compute identical timings for the same
+        transfer, so the carving lives in exactly one place.
+        """
+        ports = self.ports(dimension)
+        steps = max(1, steps)
+        step_bytes = num_bytes / steps
+        num_messages = max(1, int(-(-step_bytes // self.message_bytes)))
+        num_messages = min(num_messages, MAX_MESSAGES_PER_STEP)
+        bytes_per_port = step_bytes / (num_messages * len(ports))
+        return ports, steps, num_messages, bytes_per_port
+
+    def reserve(
+        self,
+        dimension: str,
+        num_bytes: float,
+        earliest_start: float,
+        steps: int = 1,
+    ) -> Reservation:
+        """Walk ``num_bytes`` around ``dimension``'s ring, message by message.
+
+        Each ring step's bytes are carved into Table III messages.  Message
+        ``m`` of step ``s + 1`` is the data received as message ``m`` of step
+        ``s``, so it cannot inject before that message has fully arrived
+        (serialization + link latency) — the hop-by-hop store-and-forward
+        dependency of a real ring collective.  Within a step, consecutive
+        messages pipeline behind each other on the port FIFOs, and messages
+        of *other* chunks or collectives interleave into any latency gaps.
+        """
+        ports, steps, num_messages, bytes_per_port = self._carve(
+            dimension, num_bytes, steps
+        )
+        # ready[m]: when message m of the *current* step has arrived at this
+        # hop (and may therefore be forwarded as part of the next step).
+        ready = [earliest_start] * num_messages
+        first_start = None
+        finish = earliest_start
+        for _ in range(steps):
+            for message in range(num_messages):
+                arrival = ready[message]
+                for port in ports:
+                    reservation = port.reserve(bytes_per_port, ready[message])
+                    arrival = max(arrival, reservation.finish)
+                    if first_start is None:
+                        first_start = reservation.start
+                ready[message] = arrival
+                finish = max(finish, arrival)
+        assert first_start is not None
+        result = Reservation(start=first_start, finish=finish, num_bytes=num_bytes)
+        object.__setattr__(result, "requested", earliest_start)
+        return result
+
+    def transfer(
+        self,
+        sim: Simulator,
+        dimension: str,
+        num_bytes: float,
+        steps: int,
+        on_complete: Callable[[float], None],
+    ) -> None:
+        """Walk ``num_bytes`` around ``dimension``'s ring as simulator events.
+
+        Every message's next hop is reserved at the event time the message
+        actually arrives, so port FIFO requests are chronological across all
+        in-flight chunks and collectives: another transfer issued before this
+        one's step ``s + 1`` becomes ready serialises into the latency gap
+        instead of queueing behind a pre-booked reservation.  This is the
+        contention behaviour the timeline-mode :meth:`reserve` cannot
+        express, and the reason the executor drives this backend in event
+        mode.
+        """
+        ports, steps, num_messages, bytes_per_port = self._carve(
+            dimension, num_bytes, steps
+        )
+        state = {"outstanding": num_messages, "finish": sim.now}
+
+        def hop(step: int) -> None:
+            arrival = sim.now
+            for port in ports:
+                reservation = port.reserve(bytes_per_port, sim.now)
+                arrival = max(arrival, reservation.finish)
+            if step + 1 < steps:
+                sim.schedule_at(arrival, hop, step + 1)
+                return
+            state["outstanding"] -= 1
+            state["finish"] = max(state["finish"], arrival)
+            if state["outstanding"] == 0:
+                sim.schedule_at(state["finish"], on_complete, state["finish"])
+
+        for _ in range(num_messages):
+            hop(0)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _all_ports(self) -> List[Link]:
+        return [port for ports in self._ports.values() for port in ports]
+
+    @property
+    def num_links(self) -> int:
+        """Number of instantiated physical port links."""
+        return len(self._all_ports())
+
+    @property
+    def injection_bandwidth_gbps(self) -> float:
+        """Total per-NPU injection bandwidth across all ports."""
+        return sum(p.effective_bandwidth_gbps for p in self._all_ports())
+
+    @property
+    def bytes_injected(self) -> float:
+        """Total bytes the representative NPU injected into the fabric."""
+        return sum(p.bytes_moved for p in self._all_ports())
+
+    def achieved_bandwidth_gbps(self, horizon_ns: float) -> float:
+        """Average network bandwidth the representative NPU drove over ``horizon_ns``."""
+        if horizon_ns <= 0:
+            return 0.0
+        return self.bytes_injected / horizon_ns
+
+    def per_dimension_bytes(self) -> Dict[str, float]:
+        """Bytes injected per dimension (algorithm-shape checks, Fig. 8)."""
+        return {
+            dim: sum(p.bytes_moved for p in ports)
+            for dim, ports in self._ports.items()
+        }
+
+    def per_link_stats(self) -> List[Dict[str, float]]:
+        """One row per physical port: dimension, bytes moved, busy time."""
+        rows: List[Dict[str, float]] = []
+        for dim, ports in self._ports.items():
+            for index, port in enumerate(ports):
+                rows.append(
+                    {
+                        "dimension": dim,
+                        "port": float(index),
+                        "bytes_moved": port.bytes_moved,
+                        "busy_time_ns": port.busy_time,
+                        "bandwidth_gbps": port.effective_bandwidth_gbps,
+                    }
+                )
+        return rows
+
+    def utilization(self, horizon_ns: float) -> float:
+        """Mean dimension utilization over ``horizon_ns``.
+
+        Averaged per dimension first (each dimension's ports carry equal
+        shares, so a dimension's utilization is its ports' mean), then across
+        dimensions — the same weighting the symmetric backend reports, so the
+        two backends' Fig. 10 numbers are directly comparable.
+        """
+        if not self._ports or horizon_ns <= 0:
+            return 0.0
+        per_dim = [
+            sum(p.utilization(horizon_ns) for p in ports) / len(ports)
+            for ports in self._ports.values()
+        ]
+        return sum(per_dim) / len(per_dim)
+
+    def utilization_series(self, horizon_ns: float, window_ns: float) -> List[tuple]:
+        """Windowed link-utilization series across every port (Fig. 10)."""
+        trace = UtilizationTrace(window_ns)
+        tracers: List[IntervalTracer] = [
+            p.tracer for p in self._all_ports() if p.tracer is not None
+        ]
+        return trace.utilization_series(tracers, horizon_ns)
+
+    def last_activity(self) -> float:
+        """Latest time at which any port was still moving bytes."""
+        latest = 0.0
+        for port in self._all_ports():
+            if port.tracer is not None and port.tracer.intervals:
+                latest = max(latest, port.tracer.intervals[-1].end)
+        return latest
+
+    def reset(self) -> None:
+        """Clear every port's reservations and accounting."""
+        for port in self._all_ports():
+            port.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        dims = ", ".join(
+            f"{d}x{len(ports)}@{ports[0].effective_bandwidth_gbps:.0f}GB/s"
+            for d, ports in self._ports.items()
+        )
+        return f"DetailedBackend({self.topology.name}: {dims})"

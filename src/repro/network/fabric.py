@@ -1,17 +1,19 @@
-"""Multi-node, message-level fabric simulator.
+"""Standalone multi-node, message-level fabric simulator.
 
-This backend instantiates every directed link of the topology and routes every
+This model instantiates every directed link of the topology and routes every
 message hop-by-hop with XYZ dimension-ordered routing, charging serialization
 and latency on each link (store-and-forward at message granularity).  It is
-used for:
+used for routing studies and unit tests that need every directed link of the
+topology materialised.
 
-* small-system validation of the fast symmetric backend,
-* direct all-to-all traffic, where per-destination routes differ,
-* unit tests that need per-link observability.
-
-For the large scaling sweeps the symmetric backend is preferred: a 128-NPU
-torus has 768 directed links and per-message simulation at 64 KB chunks would
-be orders of magnitude slower without changing any conclusion the paper draws.
+It is *not* an execution backend for the training loop: the
+:class:`~repro.network.detailed.DetailedBackend` plays that role, applying
+the same per-link modelling from the representative NPU's view (which, by
+symmetry, carries every link's timeline at 1/N the cost) behind the
+:class:`~repro.network.backend.NetworkBackend` protocol.  For the large
+scaling sweeps the symmetric backend is preferred: a 128-NPU torus has 768
+directed links and per-message simulation at 64 KB chunks would be orders of
+magnitude slower without changing any conclusion the paper draws.
 """
 
 from __future__ import annotations

@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.config.system import NetworkConfig
 from repro.errors import TopologyError
+from repro.network.backend import NetworkBackend, register_backend
 from repro.network.topology import Topology
 from repro.sim.resources import BandwidthResource, Reservation
 from repro.sim.trace import IntervalTracer, UtilizationTrace
@@ -73,8 +74,15 @@ class DimensionPipe:
         self._pipe.reset()
 
 
-class SymmetricFabric:
-    """Per-dimension pipes for the representative NPU of a symmetric fabric."""
+@register_backend("symmetric")
+class SymmetricFabric(NetworkBackend):
+    """Per-dimension pipes for the representative NPU of a symmetric fabric.
+
+    This is the ``"symmetric"`` :class:`~repro.network.backend.NetworkBackend`:
+    the fast analytical model the paper uses for every large sweep, validated
+    against the ``"detailed"`` per-link backend on small systems
+    (``experiments/backend_validation.py``).
+    """
 
     def __init__(self, topology: Topology, network: NetworkConfig) -> None:
         self.topology = topology
@@ -107,6 +115,36 @@ class SymmetricFabric:
     def has_dimension(self, dimension: str) -> bool:
         """Whether ``dimension`` has an active pipe in this fabric."""
         return dimension in self._pipes
+
+    # ------------------------------------------------------------------
+    # NetworkBackend protocol
+    # ------------------------------------------------------------------
+    def reserve(
+        self,
+        dimension: str,
+        num_bytes: float,
+        earliest_start: float,
+        steps: int = 1,
+    ) -> Reservation:
+        """Serialise ``num_bytes`` through ``dimension``'s aggregated pipe.
+
+        The pipe's FIFO charges serialization plus one link latency; the
+        remaining ``steps - 1`` ring-step latencies are additive (the phase's
+        data pipelines around the ring, so only latency — not bandwidth — is
+        paid again per extra step).
+        """
+        pipe = self.pipe(dimension)
+        reservation = pipe.reserve(num_bytes, earliest_start)
+        extra_latency = max(0, steps - 1) * pipe.latency_ns
+        if extra_latency == 0:
+            return reservation
+        adjusted = Reservation(
+            start=reservation.start,
+            finish=reservation.finish + extra_latency,
+            num_bytes=num_bytes,
+        )
+        object.__setattr__(adjusted, "requested", earliest_start)
+        return adjusted
 
     # ------------------------------------------------------------------
     # Aggregate statistics

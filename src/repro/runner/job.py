@@ -32,6 +32,7 @@ from repro.config.presets import make_system
 from repro.config.system import AceConfig, SystemConfig
 from repro.core.area_power import AceAreaPowerModel
 from repro.errors import ConfigurationError
+from repro.network.backend import validate_backend_name
 from repro.network.topology import Topology, topology_from_spec, torus_from_shape
 from repro.training.loop import simulate_training
 from repro.workloads.registry import build_workload
@@ -46,6 +47,8 @@ _CONFIG_SCALARS = (
     "collective_scheduling",
     "collective_launch_overhead_ns",
     "collective_algorithm",
+    "network_backend",
+    "network_backend_auto_threshold",
 )
 
 
@@ -125,6 +128,12 @@ class SimJob:
     #: Collective algorithm for the planner ("auto" = cheapest feasible).
     #: Shorthand for the ``collective_algorithm`` config override.
     algorithm: str = AUTO
+    #: Network backend executing the job ("symmetric" | "detailed" | "auto").
+    #: Shorthand for the ``network_backend`` config override; ``None`` keeps
+    #: the system preset's default (symmetric) and — for spec-hash
+    #: compatibility with pre-1.2.0 job specs — is omitted from the
+    #: canonical JSON entirely.
+    backend: Optional[str] = None
     chunk_bytes: Optional[int] = None
     # -- training jobs ---------------------------------------------------
     workload: Optional[str] = None
@@ -163,6 +172,15 @@ class SimJob:
                 f"vs overrides['collective_algorithm']={override_algorithm!r}; "
                 f"set only one"
             )
+        if self.backend is not None:
+            validate_backend_name(self.backend)
+            override_backend = self.overrides.get("network_backend")
+            if override_backend is not None and override_backend != self.backend:
+                raise ConfigurationError(
+                    f"conflicting network backends: backend={self.backend!r} "
+                    f"vs overrides['network_backend']={override_backend!r}; "
+                    f"set only one"
+                )
         if self.fabric is not None:
             # Validate eagerly so a bad spec fails at submission, not in a worker.
             topology_from_spec(self.fabric)
@@ -194,8 +212,15 @@ class SimJob:
     # Canonical serialization and hashing
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        """Plain-JSON dictionary with every field present (stable schema)."""
-        return {
+        """Plain-JSON dictionary of the spec (stable schema).
+
+        Every pre-1.2.0 field is always present.  ``backend`` (added in
+        1.2.0) is emitted only when set: a job that does not use the knob
+        canonicalises to exactly the 1.1.0 JSON, so its spec hash — and
+        therefore its cache key under any fixed ``version`` salt — is
+        unchanged by the upgrade.
+        """
+        data: Dict[str, object] = {
             "kind": self.kind,
             "system": self.system,
             "overrides": {k: dict(v) if isinstance(v, dict) else v
@@ -211,6 +236,9 @@ class SimJob:
             "payload_bytes": self.payload_bytes,
             "op": self.op,
         }
+        if self.backend is not None:
+            data["backend"] = self.backend
+        return data
 
     def to_json(self) -> str:
         """Canonical JSON: sorted keys, compact separators — hash-stable."""
@@ -280,6 +308,10 @@ class SimJob:
         # override wins when the shorthand is left at "auto".
         if self.algorithm != AUTO:
             changes["collective_algorithm"] = self.algorithm
+        # The job-level backend shorthand; an explicit network_backend
+        # override wins when the shorthand is left unset.
+        if self.backend is not None:
+            changes["network_backend"] = self.backend
         return system.with_overrides(**changes) if changes else system
 
     def build_topology(self) -> Topology:
@@ -351,6 +383,7 @@ def training_job(
     topology: Optional[Tuple[int, int, int]] = None,
     fabric: Optional[str] = None,
     algorithm: str = AUTO,
+    backend: Optional[str] = None,
     iterations: int = 2,
     chunk_bytes: Optional[int] = None,
     overlap_embedding: bool = False,
@@ -365,6 +398,7 @@ def training_job(
         topology=topology,
         fabric=fabric,
         algorithm=algorithm,
+        backend=backend,
         iterations=iterations,
         chunk_bytes=chunk_bytes,
         overlap_embedding=overlap_embedding,
@@ -379,6 +413,7 @@ def network_drive_job(
     topology: Optional[Tuple[int, int, int]] = None,
     fabric: Optional[str] = None,
     algorithm: str = AUTO,
+    backend: Optional[str] = None,
     chunk_bytes: Optional[int] = None,
     op: CollectiveOp = CollectiveOp.ALL_REDUCE,
     overrides: Optional[Mapping[str, object]] = None,
@@ -392,6 +427,7 @@ def network_drive_job(
         topology=topology,
         fabric=fabric,
         algorithm=algorithm,
+        backend=backend,
         chunk_bytes=chunk_bytes,
         op=op.value if isinstance(op, CollectiveOp) else op,
         overrides=overrides or {},

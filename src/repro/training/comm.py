@@ -26,9 +26,9 @@ from repro.collectives.planner import AUTO, algorithm_implements, plan_collectiv
 from repro.config.system import SystemConfig
 from repro.endpoint.base import Endpoint, PhaseWork
 from repro.endpoint.factory import make_endpoint
-from repro.errors import SchedulingError
+from repro.errors import ConfigurationError, SchedulingError
+from repro.network.backend import NetworkBackend, make_network_backend
 from repro.network.messages import split_payload
-from repro.network.symmetric import SymmetricFabric
 from repro.network.topology import Topology
 from repro.sim.engine import Simulator
 from repro.sim.process import Signal
@@ -76,7 +76,15 @@ class _PendingCollective:
 
 
 class CollectiveExecutor:
-    """Chunk-level collective execution over a symmetric fabric."""
+    """Chunk-level collective execution over a pluggable network backend.
+
+    The backend is chosen by name (``backend=`` argument, falling back to
+    ``system.network_backend``): ``"symmetric"`` for the fast analytical
+    model, ``"detailed"`` for the contention-aware per-link model, ``"auto"``
+    for the size heuristic.  A pre-built backend instance may be passed as
+    ``fabric=``; it must have been built for the same topology the executor
+    is given.
+    """
 
     def __init__(
         self,
@@ -84,14 +92,44 @@ class CollectiveExecutor:
         system: SystemConfig,
         topology: Topology,
         endpoint: Optional[Endpoint] = None,
-        fabric: Optional[SymmetricFabric] = None,
+        fabric: Optional[NetworkBackend] = None,
         chunk_bytes: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.sim = sim
         self.system = system
         self.topology = topology
         self.endpoint = endpoint or make_endpoint(system)
-        self.fabric = fabric or SymmetricFabric(topology, system.network)
+        if fabric is not None:
+            if backend is not None:
+                raise ConfigurationError(
+                    f"pass either a pre-built fabric or a backend name, not "
+                    f"both (got fabric={type(fabric).__name__} and "
+                    f"backend={backend!r})"
+                )
+            fabric_topology = getattr(fabric, "topology", None)
+            if (
+                fabric_topology is None
+                or fabric_topology.cache_key() != topology.cache_key()
+            ):
+                fabric_name = (
+                    fabric_topology.name if fabric_topology is not None else "<none>"
+                )
+                raise ConfigurationError(
+                    f"fabric/topology mismatch: the supplied fabric was built "
+                    f"for topology {fabric_name!r} but the executor was given "
+                    f"topology {topology.name!r}; build the fabric for the "
+                    f"same topology (or omit fabric= and let the executor "
+                    f"build it)"
+                )
+            self.fabric = fabric
+        else:
+            self.fabric = make_network_backend(
+                backend or system.network_backend,
+                topology,
+                system.network,
+                auto_threshold=system.network_backend_auto_threshold,
+            )
         self.chunk_bytes = chunk_bytes or system.ace.chunk_bytes
         if self.chunk_bytes <= 0:
             raise SchedulingError("chunk_bytes must be positive")
@@ -242,7 +280,13 @@ class CollectiveExecutor:
         now = self.sim.now
         stage = stages[stage_index]
         phase_offset = sum(len(s) for s in stages[:stage_index])
+        event_driven = self.fabric.event_driven
         stage_finish = now
+        # Completion-token pattern: the issuing frame holds one token so a
+        # backend whose transfer() delivers on_complete synchronously cannot
+        # drain the count to zero (and double-schedule the next stage) while
+        # transfers are still being issued.
+        pending = {"outstanding": 1, "finish": now}
         for within_stage, phase in enumerate(stage):
             work = PhaseWork.from_phase(
                 phase,
@@ -254,14 +298,79 @@ class CollectiveExecutor:
             ready = self.endpoint.process_phase(work, now)
             finish = ready
             if work.send_bytes > 0 and self.fabric.has_dimension(phase.dimension):
-                pipe = self.fabric.pipe(phase.dimension)
-                link = pipe.reserve(work.send_bytes, now)
-                extra_latency = max(0, phase.steps - 1) * pipe.latency_ns
-                finish = max(ready, link.finish + extra_latency)
+                if event_driven:
+                    pending["outstanding"] += 1
+                    self.fabric.transfer(
+                        self.sim,
+                        phase.dimension,
+                        work.send_bytes,
+                        phase.steps,
+                        self._make_transfer_callback(
+                            pending, ready, handle, chunk_size, stage_index, admitted_at
+                        ),
+                    )
+                    continue
+                reservation = self.fabric.reserve(
+                    phase.dimension, work.send_bytes, now, steps=phase.steps
+                )
+                finish = max(ready, reservation.finish)
             stage_finish = max(stage_finish, finish)
-        self.sim.schedule_at(
-            stage_finish, self._start_stage, handle, chunk_size, stage_index + 1, admitted_at
-        )
+        if not event_driven:
+            self.sim.schedule_at(
+                stage_finish, self._start_stage, handle, chunk_size, stage_index + 1, admitted_at
+            )
+            return
+        # Release the issuing frame's token; schedules the next stage here
+        # when no transfer is still outstanding.
+        pending["finish"] = max(pending["finish"], stage_finish)
+        self._release_stage_token(pending, handle, chunk_size, stage_index, admitted_at)
+
+    def _release_stage_token(
+        self,
+        pending: Dict[str, float],
+        handle: CollectiveHandle,
+        chunk_size: int,
+        stage_index: int,
+        admitted_at: float,
+    ) -> None:
+        """Drop one completion token; chain the next stage on the last one."""
+        pending["outstanding"] -= 1
+        if pending["outstanding"] == 0:
+            self.sim.schedule_at(
+                max(pending["finish"], self.sim.now),
+                self._start_stage,
+                handle,
+                chunk_size,
+                stage_index + 1,
+                admitted_at,
+            )
+
+    def _make_transfer_callback(
+        self,
+        pending: Dict[str, float],
+        ready: float,
+        handle: CollectiveHandle,
+        chunk_size: int,
+        stage_index: int,
+        admitted_at: float,
+    ):
+        """Completion hook for one event-mode phase transfer.
+
+        Folds ``max(endpoint ready, network finish)`` into the stage's
+        running finish time and releases the transfer's completion token.
+        Safe for backends that invoke ``on_complete`` synchronously from
+        :meth:`~repro.network.backend.NetworkBackend.transfer`: the issuing
+        frame holds its own token, so the next stage can never be scheduled
+        twice.
+        """
+
+        def _done(network_finish: float) -> None:
+            pending["finish"] = max(pending["finish"], ready, network_finish)
+            self._release_stage_token(
+                pending, handle, chunk_size, stage_index, admitted_at
+            )
+
+        return _done
 
     def _chunk_done(self, handle: CollectiveHandle) -> None:
         self._inflight_chunks -= 1

@@ -51,6 +51,7 @@ class TrainingLoop:
         chunk_bytes: Optional[int] = None,
         overlap_embedding: bool = False,
         utilization_window_ns: float = 50_000.0,
+        backend: Optional[str] = None,
     ) -> None:
         if iterations <= 0:
             raise SimulationError("iterations must be positive")
@@ -63,8 +64,10 @@ class TrainingLoop:
 
         self.sim = Simulator()
         self.compute = NpuComputeEngine(system, time_scale=workload.compute_time_scale)
+        # ``backend`` overrides ``system.network_backend`` for this loop only
+        # (the same shorthand SimJob.backend provides at the sweep layer).
         self.executor = CollectiveExecutor(
-            self.sim, system, self.topology, chunk_bytes=chunk_bytes
+            self.sim, system, self.topology, chunk_bytes=chunk_bytes, backend=backend
         )
 
         self._exposed_comm_ns = 0.0
@@ -277,8 +280,13 @@ def simulate_training(
     iterations: int = 2,
     chunk_bytes: Optional[int] = None,
     overlap_embedding: bool = False,
+    backend: Optional[str] = None,
 ) -> TrainingResult:
-    """Convenience wrapper: build a loop, run it, return the result."""
+    """Convenience wrapper: build a loop, run it, return the result.
+
+    ``backend`` selects the network model (``"symmetric" | "detailed" |
+    "auto"``; default: the system configuration's ``network_backend``).
+    """
     loop = TrainingLoop(
         system=system,
         topology=num_npus,
@@ -286,5 +294,6 @@ def simulate_training(
         iterations=iterations,
         chunk_bytes=chunk_bytes,
         overlap_embedding=overlap_embedding,
+        backend=backend,
     )
     return loop.run()

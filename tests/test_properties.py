@@ -261,6 +261,68 @@ def test_network_drive_simjob_roundtrips_and_distinct_specs_differ(payload, shap
 
 
 @DEFAULT_SETTINGS
+@given(
+    system=st.sampled_from(SYSTEM_CONFIG_NAMES),
+    workload=st.sampled_from(("resnet50", "gnmt", "dlrm")),
+    num_npus=st.sampled_from((8, 16, 32)),
+    backend=st.one_of(st.none(), st.sampled_from(("symmetric", "detailed", "auto"))),
+)
+def test_simjob_backend_round_trips(system, workload, num_npus, backend):
+    job = SimJob(system=system, workload=workload, num_npus=num_npus, backend=backend)
+    clone = SimJob.from_json(job.to_json())
+    assert clone == job
+    assert clone.backend == backend
+    assert clone.spec_hash() == job.spec_hash()
+    assert clone.build_system().network_backend == (backend or "symmetric")
+
+
+@DEFAULT_SETTINGS
+@given(
+    system=st.sampled_from(SYSTEM_CONFIG_NAMES),
+    workload=st.sampled_from(("resnet50", "gnmt", "dlrm", "megatron")),
+    num_npus=st.sampled_from((16, 32, 64, 128)),
+    iterations=st.integers(1, 4),
+    backend=st.sampled_from(("symmetric", "detailed", "auto")),
+)
+def test_simjob_old_version_spec_hash_is_stable(system, workload, num_npus, iterations, backend):
+    """Specs that do not use the 1.2.0 ``backend`` knob keep their pre-1.2.0
+    canonical JSON — and therefore their cache key under any fixed version
+    salt — while tagged specs always diverge from the untagged hash."""
+    import hashlib
+    import json as json_module
+
+    plain = SimJob(system=system, workload=workload, num_npus=num_npus, iterations=iterations)
+    assert "backend" not in plain.to_dict()
+    # The exact canonical JSON schema the 1.1.0 release hashed.
+    legacy_payload = json_module.dumps(
+        {
+            "kind": "training",
+            "system": system,
+            "overrides": {},
+            "num_npus": num_npus,
+            "topology": None,
+            "fabric": None,
+            "algorithm": "auto",
+            "chunk_bytes": None,
+            "workload": workload,
+            "iterations": iterations,
+            "overlap_embedding": False,
+            "payload_bytes": None,
+            "op": "all_reduce",
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    legacy_hash = hashlib.sha256(f"1.1.0:{legacy_payload}".encode("utf-8")).hexdigest()
+    assert plain.spec_hash(version="1.1.0") == legacy_hash
+    tagged = SimJob(
+        system=system, workload=workload, num_npus=num_npus,
+        iterations=iterations, backend=backend,
+    )
+    assert tagged.spec_hash(version="1.1.0") != legacy_hash
+
+
+@DEFAULT_SETTINGS
 @given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
 def test_simulator_clock_is_monotonic(delays):
     sim = Simulator()
