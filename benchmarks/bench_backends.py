@@ -1,82 +1,29 @@
 #!/usr/bin/env python3
 """Network-backend throughput benchmark: symmetric vs detailed.
 
-Times one fast-mode ResNet-50 training co-simulation per (backend, platform
-size) cell at 8/16/32 NPUs and reports *iteration sim-throughput* — simulated
-training iterations completed per wall-clock second — for the fast symmetric
-analytical model and the contention-aware detailed per-link model.  The
-ratio is the price of per-link fidelity, and the reason ``"auto"`` switches
-to the symmetric model above its NPU threshold.
-
-Emits ``BENCH_backends.json`` (into the current directory by default, or the
-path given as the first CLI argument) so the benchmark trajectory of the two
-backends is tracked alongside the figure benchmarks.
+Thin wrapper over :mod:`repro.experiments.bench` (the library behind
+``python -m repro bench``): times one fast-mode ResNet-50 training
+co-simulation per (backend, platform size) cell and writes the
+``BENCH_backends.json`` trajectory artifact.  CI gates the result against
+``benchmarks/baselines/BENCH_backends.json`` with
+``benchmarks/compare_bench.py``.
 
 Run with:  PYTHONPATH=src python benchmarks/bench_backends.py [out.json]
 """
 
 from __future__ import annotations
 
-import json
 import sys
-import time
-from typing import Dict, List
 
-from repro import build_workload, make_system, simulate_training
-from repro.experiments.common import FAST_CHUNK_BYTES
-
-WORKLOAD = "resnet50"
-SIZES = (8, 16, 32)
-BACKENDS = ("symmetric", "detailed")
-ITERATIONS = 2
-
-
-def bench_cell(backend: str, num_npus: int) -> Dict[str, float]:
-    """Time one training simulation; return its throughput row."""
-    system = make_system("ace", backend=backend)
-    workload = build_workload(WORKLOAD)
-    chunk = FAST_CHUNK_BYTES[WORKLOAD]
-    start = time.perf_counter()
-    result = simulate_training(
-        system, workload, num_npus=num_npus, iterations=ITERATIONS, chunk_bytes=chunk
-    )
-    wall_s = time.perf_counter() - start
-    return {
-        "backend": backend,
-        "num_npus": num_npus,
-        "workload": WORKLOAD,
-        "iterations": ITERATIONS,
-        "wall_s": wall_s,
-        "sim_iterations_per_s": ITERATIONS / wall_s if wall_s > 0 else 0.0,
-        "iteration_time_us": result.iteration_time_us,
-    }
-
-
-def run_bench() -> List[Dict[str, float]]:
-    """One row per (backend, size) cell, symmetric first."""
-    return [bench_cell(backend, size) for backend in BACKENDS for size in SIZES]
+from repro.experiments.bench import format_bench, run_bench, write_bench
 
 
 def main() -> None:
     out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_backends.json"
     rows = run_bench()
-    payload = {
-        "benchmark": "backends",
-        "workload": WORKLOAD,
-        "iterations": ITERATIONS,
-        "results": rows,
-    }
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    width = max(len(b) for b in BACKENDS)
-    for row in rows:
-        print(
-            f"{row['backend']:<{width}}  {row['num_npus']:>3} NPUs: "
-            f"{row['sim_iterations_per_s']:8.2f} sim-iterations/s "
-            f"(wall {row['wall_s']:.3f}s, iter {row['iteration_time_us']:.1f}us)"
-        )
-    print(f"wrote {out_path}")
+    path = write_bench(rows, out_path)
+    print(format_bench(rows))
+    print(f"wrote {path}")
 
 
 if __name__ == "__main__":

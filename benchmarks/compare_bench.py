@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate: diff a fresh BENCH_backends.json against the
+committed baseline.
+
+Rows are matched by their ``(backend, num_npus, workload)`` identity and two
+comparisons gate the CI ``fast-benchmarks`` job:
+
+* ``wall_s`` — the wall-clock time of the cell may not regress (grow) by
+  more than the tolerance, default 25%.  Getting *faster* never fails.
+* ``iteration_time_us`` — the *simulated* result is deterministic, so it
+  must match the baseline exactly (to float-formatting precision); a drift
+  here is a modelling change, not noise, and must be re-baselined on
+  purpose.
+
+Missing or extra cells fail the gate too: silently dropping a benchmark cell
+would otherwise read as "no regression".
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/compare_bench.py BENCH_backends.json \
+        [--baseline benchmarks/baselines/BENCH_backends.json] \
+        [--tolerance 0.25]
+
+The tolerance can also be set with the ``REPRO_BENCH_TOLERANCE`` environment
+variable (the flag wins).  To re-baseline intentionally, regenerate with
+``python -m repro bench --out benchmarks/baselines/BENCH_backends.json`` and
+commit the result together with the change that motivated it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "BENCH_backends.json"
+TOLERANCE_ENV = "REPRO_BENCH_TOLERANCE"
+DEFAULT_TOLERANCE = 0.25
+
+#: Relative slack for the "exact" simulated-result comparison; absorbs float
+#: formatting of the JSON snapshot only, exactly like the golden-value suite.
+SIM_REL_TOL = 1e-9
+
+Key = Tuple[str, int, str]
+
+
+def _load_rows(path: Path) -> Dict[Key, Dict[str, object]]:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}")
+    rows = payload.get("results")
+    if not isinstance(rows, list) or not rows:
+        raise SystemExit(f"error: {path} has no 'results' rows")
+    indexed: Dict[Key, Dict[str, object]] = {}
+    for row in rows:
+        key = (str(row["backend"]), int(row["num_npus"]), str(row["workload"]))
+        indexed[key] = row
+    return indexed
+
+
+def compare(
+    baseline: Dict[Key, Dict[str, object]],
+    fresh: Dict[Key, Dict[str, object]],
+    tolerance: float,
+) -> List[str]:
+    """All regression messages between two benchmark row sets (empty = pass)."""
+    problems: List[str] = []
+    for key in sorted(set(baseline) - set(fresh)):
+        problems.append(f"cell {key} is in the baseline but missing from the fresh run")
+    for key in sorted(set(fresh) - set(baseline)):
+        problems.append(
+            f"cell {key} is new (not in the baseline); re-baseline to start tracking it"
+        )
+    for key in sorted(set(baseline) & set(fresh)):
+        base_row, fresh_row = baseline[key], fresh[key]
+        base_iter = float(base_row["iteration_time_us"])
+        fresh_iter = float(fresh_row["iteration_time_us"])
+        if abs(fresh_iter - base_iter) > SIM_REL_TOL * max(abs(base_iter), 1.0):
+            problems.append(
+                f"cell {key}: simulated iteration_time_us changed "
+                f"{base_iter!r} -> {fresh_iter!r} (deterministic result; "
+                f"re-baseline if the modelling change is intentional)"
+            )
+        base_wall = float(base_row["wall_s"])
+        fresh_wall = float(fresh_row["wall_s"])
+        if fresh_wall > base_wall * (1.0 + tolerance):
+            problems.append(
+                f"cell {key}: wall time regressed {base_wall:.3f}s -> "
+                f"{fresh_wall:.3f}s (+{100.0 * (fresh_wall / base_wall - 1.0):.1f}%, "
+                f"tolerance {100.0 * tolerance:.0f}%)"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="freshly generated BENCH_backends.json")
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help=f"committed baseline (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help=f"allowed fractional wall-time regression (default {DEFAULT_TOLERANCE}, "
+        f"or ${TOLERANCE_ENV})",
+    )
+    args = parser.parse_args(argv)
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(os.environ.get(TOLERANCE_ENV, DEFAULT_TOLERANCE))
+    if tolerance < 0:
+        raise SystemExit(f"error: tolerance must be non-negative, got {tolerance}")
+
+    baseline = _load_rows(Path(args.baseline))
+    fresh = _load_rows(Path(args.fresh))
+    problems = compare(baseline, fresh, tolerance)
+
+    for key in sorted(set(baseline) & set(fresh)):
+        base_wall = float(baseline[key]["wall_s"])
+        fresh_wall = float(fresh[key]["wall_s"])
+        delta = 100.0 * (fresh_wall / base_wall - 1.0) if base_wall > 0 else 0.0
+        backend, npus, workload = key
+        print(
+            f"{backend:<10} {npus:>3} NPUs {workload}: "
+            f"wall {base_wall:.3f}s -> {fresh_wall:.3f}s ({delta:+.1f}%)"
+        )
+
+    if problems:
+        print(f"\nFAIL: {len(problems)} benchmark regression(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no regressions vs {args.baseline} (wall tolerance {100 * tolerance:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

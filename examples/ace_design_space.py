@@ -1,55 +1,23 @@
 #!/usr/bin/env python3
 """Explore the ACE design space: SRAM capacity, FSM count, area and power.
 
-Walks the Fig. 9a design-space sweep (how collective performance responds to
-the SRAM size and the number of programmable FSMs) and prices each design
-point with the Table IV area/power model, showing why the paper settles on
-4 MB of SRAM and 16 FSMs — the smallest configuration that keeps the network
-pipeline full while staying under 2% of the accelerator's area and power.
+Runs the ``fig9-dse`` scenario (how collective performance responds to the
+SRAM size and the number of programmable FSMs, normalised to the shipped
+4 MB / 16 FSM point) and the ``table4-area`` scenario (the Table IV
+area/power roll-up with its <2% accelerator-overhead bound) — together the
+two sides of why the paper settles on the shipped configuration.
+
+Thin wrapper over the scenario CLI; equivalent to::
+
+    PYTHONPATH=src python -m repro run fig9-dse
+    PYTHONPATH=src python -m repro run table4-area
 
 Run with:  python examples/ace_design_space.py
 """
 
-from repro.analysis.report import format_table
-from repro.config.system import AceConfig
-from repro.core.area_power import AceAreaPowerModel
-from repro.core.dse import ace_config_for, sweep_design_space
-from repro.runner import SweepRunner
-
-DESIGN_POINTS = [(0.125, 1), (0.5, 2), (1, 4), (2, 8), (4, 16), (8, 20)]
-
-
-def main() -> None:
-    # The (design point x platform size) grid fans out over worker processes.
-    runner = SweepRunner(workers="auto")
-    performance = sweep_design_space(DESIGN_POINTS, sizes=(16, 64), fast=True, runner=runner)
-    rows = []
-    for row in performance:
-        config = ace_config_for(row["sram_mb"], row["num_fsms"])
-        model = AceAreaPowerModel(config)
-        total = model.total()
-        rows.append(
-            {
-                "sram_mb": row["sram_mb"],
-                "num_fsms": row["num_fsms"],
-                "perf_vs_4MB_16FSM": round(row["performance_vs_reference"], 3),
-                "area_mm2": round(total.area_um2 / 1e6, 2),
-                "power_w": round(total.power_mw / 1e3, 2),
-                "area_overhead_pct": round(100 * model.area_overhead_fraction(), 2),
-            }
-        )
-    print(format_table(rows, title="ACE design space: performance (Fig. 9a) vs cost (Table IV)"))
-    print()
-
-    shipped = AceAreaPowerModel(AceConfig())
-    print("Shipped configuration (4 MB SRAM, 16 FSMs, 4 ALUs):")
-    for component in shipped.components():
-        print(f"  {component.name:<24s} {component.area_um2:>12,.0f} um^2  {component.power_mw:>10.3f} mW")
-    total = shipped.total()
-    print(f"  {'ACE (Total)':<24s} {total.area_um2:>12,.0f} um^2  {total.power_mw:>10.3f} mW")
-    print(f"  -> {100 * shipped.area_overhead_fraction():.1f}% area and "
-          f"{100 * shipped.power_overhead_fraction():.1f}% power of a training accelerator")
-
+from repro.cli import main
 
 if __name__ == "__main__":
-    main()
+    status = main(["run", "fig9-dse"])
+    print()
+    raise SystemExit(main(["run", "table4-area"]) or status)

@@ -1,86 +1,24 @@
 #!/usr/bin/env python3
-"""One SimJob, two network models: symmetric vs detailed, side by side.
+"""Same cells, two network models: symmetric vs detailed, side by side.
 
-The paper validates its fast symmetric-node network model against a detailed
-per-link simulation on small systems, then trusts the fast model for the
-large sweeps.  This example replays that methodology on one training cell:
-the *same* ``SimJob`` spec runs on both ``backend="symmetric"`` and
-``backend="detailed"``, both produce full per-iteration breakdowns, and the
-exposed-communication disagreement must stay within the 5 % validation
-tolerance.  It then shows the per-link observability only the detailed
-backend offers, and the ``ConfigurationError`` guard rails around infeasible
-choices.
+Runs the ``backend-validation`` scenario: paired training and network-drive
+cells simulated on both the fast symmetric analytical backend and the
+contention-aware detailed per-link backend, with declared invariants
+bounding their disagreement at the paper-style 5% validation tolerance —
+and the ``detailed-contention`` scenario, whose small-fabric drive cells
+exercise the per-link store-and-forward path next to the symmetric model.
+
+Thin wrapper over the scenario CLI; equivalent to::
+
+    PYTHONPATH=src python -m repro run backend-validation
+    PYTHONPATH=src python -m repro run detailed-contention
 
 Run with:  python examples/backend_comparison.py
 """
 
-from repro import build_workload, make_system
-from repro.errors import ConfigurationError
-from repro.experiments.backend_validation import TOLERANCE
-from repro.network import make_network_backend, resolve_backend_name, topology_from_spec
-from repro.runner import SweepRunner, training_job
-from repro.training.loop import TrainingLoop
-from repro.units import KB
-
-WORKLOAD = "dlrm"
-NUM_NPUS = 16
-CHUNK_BYTES = 512 * KB
-
-
-def main() -> None:
-    runner = SweepRunner(workers=2)
-    jobs = [
-        training_job("ace", WORKLOAD, num_npus=NUM_NPUS, backend=backend,
-                     iterations=2, chunk_bytes=CHUNK_BYTES)
-        for backend in ("symmetric", "detailed")
-    ]
-    symmetric, detailed = runner.run_values(jobs)
-
-    print(f"{WORKLOAD} on {NUM_NPUS} NPUs (ACE endpoint), per-iteration breakdowns:\n")
-    for name, result in (("symmetric", symmetric), ("detailed", detailed)):
-        print(f"  backend={name}")
-        for b in result.iteration_breakdowns:
-            print(
-                f"    iter {b.index}: total={b.duration_ns / 1e3:9.1f} us  "
-                f"compute={b.compute_ns / 1e3:9.1f} us  "
-                f"exposed-comm={b.exposed_comm_ns / 1e3:8.1f} us"
-            )
-
-    t_s, t_d = symmetric.total_time_ns, detailed.total_time_ns
-    e_s, e_d = symmetric.exposed_comm_ns, detailed.exposed_comm_ns
-    time_err = abs(t_s - t_d) / t_d
-    exposed_delta = abs(e_s - e_d) / max(t_s, t_d)
-    print(f"\n  iteration-time relative error:            {time_err:.4%}")
-    print(f"  exposed-comm disagreement / iteration:    {exposed_delta:.4%}")
-    assert time_err <= TOLERANCE, "symmetric model drifted from the detailed model"
-    assert exposed_delta <= TOLERANCE, "exposed communication disagrees beyond tolerance"
-    print(f"OK: the symmetric model tracks the detailed model within {TOLERANCE:.0%}.")
-
-    # Per-link observability: only the detailed backend can answer "which
-    # physical port moved how many bytes" (cf. per-link timeline profiling).
-    topology = topology_from_spec("torus:4x2x2")
-    system = make_system("ace")
-    loop = TrainingLoop(system, topology, build_workload(WORKLOAD),
-                        iterations=1, chunk_bytes=CHUNK_BYTES, backend="detailed")
-    loop.run()
-    print("\nPer-link accounting from the detailed backend:")
-    for row in loop.executor.fabric.per_link_stats():
-        print(
-            f"  {row['dimension']:>10}[port {int(row['port'])}]: "
-            f"{row['bytes_moved'] / 1e6:8.1f} MB moved, "
-            f"busy {row['busy_time_ns'] / 1e3:8.1f} us"
-        )
-
-    # Guard rails: "auto" picks per system size, and infeasible explicit
-    # combinations fail loudly instead of silently taking hours.
-    small, large = topology_from_spec("torus:4x2x2"), topology_from_spec("torus:8x16x8")
-    print(f"\nauto resolves to {resolve_backend_name('auto', small)!r} at {small.num_nodes} NPUs"
-          f" and {resolve_backend_name('auto', large)!r} at {large.num_nodes} NPUs.")
-    try:
-        make_network_backend("detailed", large, system.network)
-    except ConfigurationError as exc:
-        print(f"OK: detailed on {large.num_nodes} NPUs is rejected: {exc}")
-
+from repro.cli import main
 
 if __name__ == "__main__":
-    main()
+    status = main(["run", "backend-validation"])
+    print()
+    raise SystemExit(main(["run", "detailed-contention"]) or status)

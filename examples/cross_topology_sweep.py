@@ -1,51 +1,23 @@
 #!/usr/bin/env python3
 """Which collective algorithm wins on which fabric?
 
-The paper fixes one pairing — hierarchical 4-phase all-reduce and direct
-all-to-all on the 3D torus.  This example opens the planner up: it sweeps
-every feasible (topology x algorithm) pairing for an all-reduce at two
-platform sizes through the parallel sweep runner, prints the ranking per
-fabric, and demonstrates that
+Runs the ``cross-topology`` scenario: every feasible (topology x algorithm)
+all-reduce pairing at 16 and 64 NPUs — the paper's canonical torus, a 2D
+torus, a flat ring, a switch group, and a fully-connected fabric — as one
+parallel, cached sweep.  On the torus the paper's hierarchical algorithm
+wins; on single-hop fabrics the logarithmic algorithms take over
+(``tests/test_cross_topology.py`` asserts the rankings).
 
-* on the torus, the paper's hierarchical algorithm beats a flat ring
-  embedding (its home turf),
-* on single-hop fabrics (switch, fully-connected), the logarithmic
-  algorithms (halving-doubling, double binary tree) take over,
-* a second identical sweep is served entirely from the result cache.
+Thin wrapper over the scenario CLI; equivalent to::
+
+    PYTHONPATH=src python -m repro run cross-topology
+
+The manifest lives at ``scenarios/cross-topology.json``.
 
 Run with:  python examples/cross_topology_sweep.py
 """
 
-from repro.analysis.report import format_table
-from repro.experiments.cross_topology import best_algorithms, run_cross_topology
-from repro.runner import ResultCache, SweepRunner
-
-SIZES = (16, 64)
-
-
-def main() -> None:
-    runner = SweepRunner(workers="auto", cache=ResultCache())
-    rows = run_cross_topology(sizes=SIZES, systems=("ace",), runner=runner)
-    print(format_table(rows, title="Cross-topology all-reduce sweep (ACE endpoint)"))
-    print()
-
-    winners = best_algorithms(rows)
-    for (fabric, system, npus), algorithm in sorted(winners.items()):
-        print(f"  fastest on {fabric:<14} ({system}, {npus:>3} NPUs): {algorithm}")
-
-    for fabric in (f"torus:{t}" for t in ("4x2x2", "4x4x4")):
-        key = next((k for k in winners if k[0] == fabric), None)
-        if key is not None:
-            assert winners[key] == "hierarchical", (
-                f"expected the paper's hierarchical algorithm to win on {fabric}"
-            )
-    print("\nOK: hierarchical all-reduce wins on the paper's torus.")
-
-    executed_before = runner.stats.executed
-    run_cross_topology(sizes=SIZES, systems=("ace",), runner=runner)
-    assert runner.stats.executed == executed_before, "re-run should be all cache hits"
-    print(f"OK: cached re-run simulated 0 new cells ({runner.stats.cache_hits} hits).")
-
+from repro.cli import main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main(["run", "cross-topology"]))

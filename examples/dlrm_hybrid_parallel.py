@@ -1,70 +1,21 @@
 #!/usr/bin/env python3
 """DLRM hybrid parallelism: all-to-all exchanges plus the Fig. 12 optimisation.
 
-DLRM trains its MLPs data-parallel (weight-gradient all-reduce) and its
-embedding tables model-parallel (all-to-all before the top MLP and after
-back-propagation).  This example:
+Runs the ``fig12-dlrm-opt`` scenario: the default DLRM training loop vs the
+optimised loop (the embedding lookup of the *next* iteration and update of
+the *previous* one run off the critical path on the memory bandwidth ACE
+frees up) on BaselineCompOpt and ACE.  The ``improvement`` rows carry each
+system's speedup ratio — the baseline barely benefits, ACE converts the
+saving into iteration time.
 
-1. simulates the default DLRM training loop on BaselineCompOpt and ACE,
-2. enables the optimised loop (embedding lookup/update of the adjacent
-   iterations run off the critical path on the memory bandwidth ACE frees up),
-3. reports the improvement each system gets — the paper's Fig. 12 experiment.
+Thin wrapper over the scenario CLI; equivalent to::
+
+    PYTHONPATH=src python -m repro run fig12-dlrm-opt
 
 Run with:  python examples/dlrm_hybrid_parallel.py
 """
 
-from repro import SweepRunner, build_workload
-from repro.analysis.report import format_table
-from repro.runner import training_job
-from repro.units import KB
-
-NUM_NPUS = 64
-CHUNK_BYTES = 512 * KB
-SYSTEMS = ("baseline_comp_opt", "ace")
-
-
-def main() -> None:
-    workload = build_workload("dlrm")
-    embedding = workload.embedding
-    print(f"Workload: {workload.description}")
-    print(f"  MLP gradients per iteration : {workload.total_params_bytes / 2**20:.1f} MiB")
-    print(f"  all-to-all payload (fwd/bwd): {embedding.alltoall_forward_bytes / 2**20:.1f} MiB each")
-    print()
-
-    # Both systems x {default, optimised} are independent: one job batch.
-    runner = SweepRunner(workers="auto")
-    jobs = [
-        training_job(name, "dlrm", num_npus=NUM_NPUS, iterations=2,
-                     chunk_bytes=CHUNK_BYTES, overlap_embedding=overlap)
-        for name in SYSTEMS
-        for overlap in (False, True)
-    ]
-    results = iter(runner.run_values(jobs))
-
-    rows = []
-    improvements = {}
-    for name in SYSTEMS:
-        default = next(results)
-        optimised = next(results)
-        for label, result in (("default", default), ("optimized", optimised)):
-            rows.append(
-                {
-                    "system": result.system_name,
-                    "loop": label,
-                    "compute_us": round(result.total_compute_us, 1),
-                    "exposed_comm_us": round(result.exposed_comm_us, 1),
-                    "total_us": round(result.total_time_us, 1),
-                }
-            )
-        improvements[default.system_name] = default.total_time_ns / optimised.total_time_ns
-
-    print(format_table(rows, title=f"DLRM on {NUM_NPUS} NPUs: default vs optimised loop (Fig. 12)"))
-    print()
-    for system_name, improvement in improvements.items():
-        print(f"{system_name}: optimised loop is {improvement:.2f}x faster than the default loop")
-    print("\nThe optimisation is only worthwhile because ACE leaves spare memory "
-          "bandwidth on the NPU; the baseline's communication path still limits it.")
-
+from repro.cli import main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main(["run", "fig12-dlrm-opt"]))

@@ -1,58 +1,24 @@
 #!/usr/bin/env python3
 """How much memory bandwidth does it take to drive the Accelerator Fabric?
 
-Reproduces the reasoning behind Figs. 5 and 6 and Section VI-A on a 64-NPU
-(4x4x4) platform:
+Runs the ``fig5-membw`` and ``fig6-sm-sweep`` scenarios: the achieved
+network bandwidth as (a) the memory bandwidth available to the
+communication path and (b) the number of SMs the baseline dedicates to
+communication are swept — the measured halves of Figs. 5 and 6 (the
+baseline needs ~450 GB/s of memory reads to fill the fabric; ACE roughly
+3.5x less because chunks are cached in its SRAM).
 
-* the analytical memory-traffic accounting (1.5 reads per injected byte for
-  the baseline vs ~0.44 for ACE, a ~3.4x reduction),
-* a measured sweep of achieved network bandwidth vs the memory bandwidth
-  available to the communication path,
-* a measured sweep of achieved network bandwidth vs the number of SMs the
-  baseline dedicates to communication.
+Thin wrapper over the scenario CLI; equivalent to::
+
+    PYTHONPATH=src python -m repro run fig5-membw
+    PYTHONPATH=src python -m repro run fig6-sm-sweep
 
 Run with:  python examples/network_drive_sweep.py
 """
 
-from repro.analysis.bandwidth import (
-    analytical_memory_traffic,
-    memory_bw_sweep,
-    sm_sweep,
-)
-from repro.analysis.report import format_table
-from repro.network.topology import Torus3D
-from repro.runner import SweepRunner
-from repro.units import KB, MB
-
-TOPOLOGY = Torus3D(4, 4, 4)
-PAYLOAD = 32 * MB
-CHUNK = 128 * KB
-
-
-def main() -> None:
-    runner = SweepRunner(workers="auto")
-    req = analytical_memory_traffic(TOPOLOGY)
-    print("Section VI-A analytical accounting on", req.topology_name)
-    print(f"  bytes injected per payload byte : {req.injected_bytes_per_payload_byte:.3f}")
-    print(f"  baseline reads per injected byte: {req.baseline_reads_per_injected_byte:.3f}")
-    print(f"  ACE reads per injected byte     : {req.ace_reads_per_injected_byte:.3f}")
-    print(f"  memory-BW reduction with ACE    : {req.memory_bw_reduction:.2f}x")
-    print(f"  read BW to drive 300 GB/s       : baseline "
-          f"{req.required_read_bandwidth_gbps(300, 'baseline'):.0f} GB/s, "
-          f"ACE {req.required_read_bandwidth_gbps(300, 'ace'):.0f} GB/s")
-    print()
-
-    rows = memory_bw_sweep(
-        TOPOLOGY, [64.0, 128.0, 256.0, 450.0, 900.0], payload_bytes=PAYLOAD,
-        chunk_bytes=CHUNK, runner=runner,
-    )
-    print(format_table(rows, title="Fig. 5 — achieved network BW vs memory BW for communication"))
-    print()
-
-    rows = sm_sweep(TOPOLOGY, [1, 2, 4, 6, 8, 16], payload_bytes=PAYLOAD,
-                    chunk_bytes=CHUNK, runner=runner)
-    print(format_table(rows, title="Fig. 6 — achieved network BW vs #SMs for communication"))
-
+from repro.cli import main
 
 if __name__ == "__main__":
-    main()
+    status = main(["run", "fig5-membw"])
+    print()
+    raise SystemExit(main(["run", "fig6-sm-sweep"]) or status)

@@ -1,56 +1,23 @@
 #!/usr/bin/env python3
-"""Quickstart: simulate two ResNet-50 training iterations on every system.
+"""Quickstart: simulate ResNet-50 training on every Table VI system.
 
-Builds the paper's five system configurations (Table VI), runs two
-data-parallel training iterations of ResNet-50 on a 64-NPU (4x4x4) platform,
-and prints the compute / exposed-communication breakdown plus ACE's speedup —
-a miniature version of the paper's Fig. 11.
+Runs the ``paper-fast`` scenario — ResNet-50 on a 16-NPU torus across the
+five system configurations — through the declarative scenario path, checks
+the paper's ``Ideal <= ACE <= baseline`` iteration-time invariants, and
+writes the machine-readable report.
+
+Thin wrapper over the scenario CLI; equivalent to::
+
+    PYTHONPATH=src python -m repro run paper-fast
+
+The manifest lives at ``scenarios/paper-fast.json`` — copy and edit it to
+declare a new suite without touching any code (``python -m repro list``
+shows everything shipped).
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import SimJob, SweepRunner, build_workload
-from repro.analysis.report import format_table
-from repro.units import KB
-
-NUM_NPUS = 64
-CHUNK_BYTES = 256 * KB  # larger than the paper's 64 KB to keep the demo quick
-SYSTEMS = ("baseline_no_overlap", "baseline_comm_opt", "baseline_comp_opt", "ace", "ideal")
-
-
-def main() -> None:
-    workload = build_workload("resnet50")
-    print(f"Workload: {workload.description}")
-    print(f"  layers={workload.num_layers}  "
-          f"gradients={workload.total_params_bytes / 2**20:.1f} MiB per iteration")
-    print()
-
-    # The five systems are independent cells, so fan them out over worker
-    # processes instead of simulating them one after another.
-    runner = SweepRunner(workers="auto")
-    jobs = [
-        SimJob(system=name, workload="resnet50", num_npus=NUM_NPUS,
-               iterations=2, chunk_bytes=CHUNK_BYTES)
-        for name in SYSTEMS
-    ]
-    results = dict(zip(SYSTEMS, runner.run_values(jobs)))
-
-    rows = [r.as_row() for r in results.values()]
-    print(format_table(rows, title=f"ResNet-50 on {NUM_NPUS} NPUs (2 iterations)"))
-    print()
-
-    ace = results["ace"]
-    ideal = results["ideal"]
-    best_baseline = min(
-        (results[n] for n in ("baseline_no_overlap", "baseline_comm_opt", "baseline_comp_opt")),
-        key=lambda r: r.iteration_time_ns,
-    )
-    print(f"ACE speedup over the best baseline ({best_baseline.system_name}): "
-          f"{ace.speedup_over(best_baseline):.2f}x")
-    print(f"ACE reaches {100 * ace.fraction_of_ideal(ideal):.1f}% of the ideal system.")
-    print(f"ACE endpoint memory reads: {ace.endpoint_memory_read_bytes / 2**20:.1f} MiB "
-          f"vs baseline {best_baseline.endpoint_memory_read_bytes / 2**20:.1f} MiB")
-
+from repro.cli import main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main(["run", "paper-fast"]))

@@ -1,51 +1,23 @@
 #!/usr/bin/env python3
 """Weak-scaling study: ResNet-50 and DLRM from 16 to 128 NPUs (Fig. 11).
 
-For each platform size the script simulates two training iterations on every
-system configuration, prints the compute / exposed-communication breakdown
-(Fig. 11a) and ACE's speedup over each baseline (Fig. 11b).
+Runs the ``fig11-scaling`` scenario — the compute / exposed-communication
+breakdown (Fig. 11a) at two platform sizes for every system — or, with
+``--full``, the complete ``paper-full`` evaluation grid (three workloads,
+four sizes, paper-scale 64 KB chunks; slow).
 
-Run with:  python examples/resnet50_scaling.py            (quick: 16 and 64 NPUs)
-       or: python examples/resnet50_scaling.py --full     (adds 32 and 128 NPUs)
+Thin wrapper over the scenario CLI; equivalent to::
+
+    PYTHONPATH=src python -m repro run fig11-scaling
+    PYTHONPATH=src python -m repro run paper-full      # --full
+
+Run with:  python examples/resnet50_scaling.py [--full]
 """
 
 import sys
 
-from repro.analysis.report import format_table
-from repro.analysis.speedup import compute_speedups
-from repro.experiments.common import run_grid
-from repro.runner import SweepRunner
-
-QUICK_SIZES = (16, 64)
-FULL_SIZES = (16, 32, 64, 128)
-
-
-def main() -> None:
-    sizes = FULL_SIZES if "--full" in sys.argv else QUICK_SIZES
-    workloads = ("resnet50", "dlrm")
-    runner = SweepRunner(workers="auto")
-    print(f"Simulating {workloads} on {sizes} NPUs, 5 system configurations each "
-          f"({runner.workers} workers)...")
-    results = run_grid(workloads=workloads, sizes=sizes, fast=True, runner=runner)
-
-    print()
-    print(format_table([r.as_row() for r in results],
-                       title="Fig. 11a — compute vs exposed communication (2 iterations)"))
-    print()
-
-    rows = []
-    for table in compute_speedups(results):
-        rows.append(
-            {
-                "workload": table.workload,
-                "npus": table.num_npus,
-                "ace_iteration_us": round(table.ace_iteration_time_ns / 1e3, 1),
-                "vs_best_baseline": round(table.best_baseline_speedup(), 3),
-                **{f"vs_{k}": round(v, 3) for k, v in sorted(table.speedups.items())},
-            }
-        )
-    print(format_table(rows, title="Fig. 11b — ACE speedup over the baselines"))
-
+from repro.cli import main
 
 if __name__ == "__main__":
-    main()
+    scenario = "paper-full" if "--full" in sys.argv[1:] else "fig11-scaling"
+    raise SystemExit(main(["run", scenario]))

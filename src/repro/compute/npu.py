@@ -13,7 +13,7 @@ Fig. 11a.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.compute.kernels import KernelCost
 from repro.compute.roofline import RooflineModel

@@ -14,7 +14,7 @@ in-flight chunks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.collectives.base import CollectivePlan
 from repro.config.system import AceConfig, NetworkConfig

@@ -44,5 +44,18 @@ class WorkloadError(ConfigurationError):
     """A workload definition is malformed."""
 
 
+class ScenarioError(ConfigurationError):
+    """A scenario manifest is malformed or cannot be compiled into jobs.
+
+    Raised by :mod:`repro.scenarios` with the manifest name (and file, when
+    loaded from disk) in the message, so a bad ``scenarios/*.json`` entry
+    points straight at the offending declaration.
+    """
+
+
+class InvariantViolation(ScenarioError):
+    """A scenario ran, but its declared result invariants do not hold."""
+
+
 class SchedulingError(SimulationError):
     """The collective or compute scheduler reached an invalid state."""

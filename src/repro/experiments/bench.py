@@ -1,0 +1,105 @@
+"""Network-backend throughput benchmark: symmetric vs detailed.
+
+Times one fast-mode ResNet-50 training co-simulation per (backend, platform
+size) cell at 8/16/32 NPUs and reports *iteration sim-throughput* — simulated
+training iterations completed per wall-clock second — for the fast symmetric
+analytical model and the contention-aware detailed per-link model.  The
+ratio is the price of per-link fidelity, and the reason ``"auto"`` switches
+to the symmetric model above its NPU threshold.
+
+The payload (``BENCH_backends.json``) is the repo's benchmark-trajectory
+artifact: CI regenerates it on every run and gates on
+``benchmarks/baselines/BENCH_backends.json`` via
+``benchmarks/compare_bench.py`` — wall time within a tolerance, simulated
+``iteration_time_us`` exactly.  Each row also carries the ``spec_hash`` of
+the equivalent :class:`~repro.runner.SimJob`, tying benchmark cells to the
+result-cache keys of the scenario/figure runs that simulate the same cell.
+
+Entry points: ``python -m repro bench`` (also prunes stale result-cache
+entries first) or ``PYTHONPATH=src python benchmarks/bench_backends.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.experiments.common import FAST_CHUNK_BYTES
+from repro.runner import training_job
+
+WORKLOAD = "resnet50"
+SIZES = (8, 16, 32)
+BACKENDS = ("symmetric", "detailed")
+ITERATIONS = 2
+
+
+def bench_cell(backend: str, num_npus: int) -> Dict[str, object]:
+    """Time one training simulation; return its throughput row.
+
+    The cell *is* a :func:`~repro.runner.training_job` spec and is executed
+    through :meth:`SimJob.execute` (uncached, so the wall time is a real
+    simulation), which guarantees the row's ``spec_hash`` names exactly the
+    simulation that was timed.
+    """
+    job = training_job(
+        "ace",
+        WORKLOAD,
+        num_npus=num_npus,
+        backend=backend,
+        iterations=ITERATIONS,
+        chunk_bytes=FAST_CHUNK_BYTES[WORKLOAD],
+    )
+    start = time.perf_counter()
+    result = job.execute()
+    wall_s = time.perf_counter() - start
+    return {
+        "backend": backend,
+        "num_npus": num_npus,
+        "workload": WORKLOAD,
+        "iterations": ITERATIONS,
+        "spec_hash": job.spec_hash(),
+        "wall_s": wall_s,
+        "sim_iterations_per_s": ITERATIONS / wall_s if wall_s > 0 else 0.0,
+        "iteration_time_us": result.iteration_time_us,
+    }
+
+
+def run_bench(
+    backends: Sequence[str] = BACKENDS, sizes: Sequence[int] = SIZES
+) -> List[Dict[str, object]]:
+    """One row per (backend, size) cell, symmetric first."""
+    return [bench_cell(backend, size) for backend in backends for size in sizes]
+
+
+def bench_payload(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """The ``BENCH_backends.json`` payload for a set of benchmark rows."""
+    return {
+        "benchmark": "backends",
+        "workload": WORKLOAD,
+        "iterations": ITERATIONS,
+        "results": list(rows),
+    }
+
+
+def write_bench(rows: Sequence[Dict[str, object]], out_path: Union[str, Path]) -> Path:
+    """Write the benchmark payload to ``out_path`` and return the path."""
+    out_path = Path(out_path)
+    with out_path.open("w", encoding="utf-8") as handle:
+        json.dump(bench_payload(rows), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return out_path
+
+
+def format_bench(rows: Sequence[Dict[str, object]]) -> str:
+    """Human-readable summary of the benchmark rows."""
+    width = max(len(str(row["backend"])) for row in rows)
+    lines = []
+    for row in rows:
+        lines.append(
+            f"{row['backend']:<{width}}  {row['num_npus']:>3} NPUs: "
+            f"{row['sim_iterations_per_s']:8.2f} sim-iterations/s "
+            f"(wall {row['wall_s']:.3f}s, iter {row['iteration_time_us']:.1f}us)"
+        )
+    return "\n".join(lines)

@@ -61,6 +61,7 @@ def grid_jobs(
     fabric: Optional[str] = None,
     algorithm: str = "auto",
     backend: Optional[str] = None,
+    chunk_bytes: Optional[int] = None,
 ) -> List[SimJob]:
     """Job specs for every (system, workload, size) grid cell, in grid order.
 
@@ -71,7 +72,10 @@ def grid_jobs(
     so it requires a single-entry ``sizes`` (otherwise every "size" cell
     would silently be the same simulation).  ``backend`` selects the network
     model for every cell (``"symmetric" | "detailed" | "auto"``; default:
-    the preset's symmetric model).
+    the preset's symmetric model).  ``chunk_bytes`` pins one collective chunk
+    size for every cell, overriding the per-workload fast/paper default —
+    heavyweight off-paper workloads (megatron) need coarser chunks than the
+    paper trio to keep the event count tractable.
     """
     if fabric is not None and len(set(sizes)) > 1:
         raise ConfigurationError(
@@ -80,7 +84,7 @@ def grid_jobs(
         )
     jobs: List[SimJob] = []
     for workload_name in workloads:
-        chunk = chunk_bytes_for(workload_name, fast)
+        chunk = chunk_bytes if chunk_bytes is not None else chunk_bytes_for(workload_name, fast)
         for num_npus in sizes:
             for system_name in systems:
                 jobs.append(
@@ -110,6 +114,7 @@ def run_grid(
     fabric: Optional[str] = None,
     algorithm: str = "auto",
     backend: Optional[str] = None,
+    chunk_bytes: Optional[int] = None,
     runner: Optional[SweepRunner] = None,
 ) -> List[TrainingResult]:
     """Simulate every (system, workload, size) combination and return results."""
@@ -125,6 +130,7 @@ def run_grid(
             fabric=fabric,
             algorithm=algorithm,
             backend=backend,
+            chunk_bytes=chunk_bytes,
         )
     )
 

@@ -22,7 +22,7 @@ model.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 from repro.config.system import NetworkConfig
 from repro.errors import TopologyError

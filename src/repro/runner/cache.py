@@ -37,6 +37,11 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 _ENTRY_SCHEMA = 1
 
 
+def _is_entry_name(stem: str) -> bool:
+    """Whether a file stem looks like a cache key (64 lowercase hex chars)."""
+    return len(stem) == 64 and all(c in "0123456789abcdef" for c in stem)
+
+
 class ResultCache:
     """Spec-hash keyed store of encoded simulation results."""
 
@@ -136,6 +141,43 @@ class ResultCache:
         if self.directory is not None:
             return len(list(self.directory.glob("*.json")))
         return len(self._memory)
+
+    def prune(self) -> int:
+        """Delete disk entries written under a different spec version.
+
+        Entries are version-salted, so a cache directory shared across
+        simulator upgrades accumulates files no current run can ever hit
+        again.  ``prune()`` removes every entry whose recorded ``version``
+        (or schema) differs from this cache's — unreadable files count as
+        stale too — and returns the number of files removed.  ``python -m
+        repro bench`` calls this before benchmarking so a long-lived
+        ``REPRO_CACHE_DIR`` does not grow without bound.
+        """
+        if self.directory is None:
+            return 0
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            # Only ever touch files following the cache's <sha256>.json naming
+            # scheme: a cache directory that (against advice) also holds other
+            # JSON artifacts must not have them deleted.
+            if not _is_entry_name(path.stem):
+                continue
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+                stale = (
+                    entry.get("schema") != _ENTRY_SCHEMA
+                    or entry.get("version") != self.version
+                )
+            except (OSError, ValueError):
+                stale = True
+            if stale:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
 
     def clear(self) -> None:
         """Drop every entry (and reset nothing else — counters persist)."""

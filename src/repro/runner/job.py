@@ -368,7 +368,11 @@ class SimJob:
 
 # A frozen dataclass with a dict field cannot use the generated __hash__;
 # hash the canonical JSON instead so equal specs always collide.
-SimJob.__hash__ = lambda self: hash(self.to_json())  # type: ignore[method-assign]
+def _simjob_hash(self: SimJob) -> int:
+    return hash(self.to_json())
+
+
+SimJob.__hash__ = _simjob_hash  # type: ignore[method-assign]
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,103 @@
+"""Running a compiled scenario through the sweep runner.
+
+:func:`run_scenario` is the single execution path behind ``python -m repro
+run``: compile the manifest into suites, dispatch every job-based suite as
+one batch through a :class:`~repro.runner.SweepRunner` (the shared
+:func:`~repro.runner.default_runner` unless one is passed), call the figure
+harnesses of ``figure`` suites with the same runner, check the declared
+invariants, and assemble the uniform report
+(:func:`repro.scenarios.report.build_report`).
+
+Job failures surface as a :class:`~repro.errors.ScenarioError` naming the
+first failing spec; invariant failures raise
+:class:`~repro.errors.InvariantViolation` *after* the report is fully built
+(attached to the exception as ``report``) so callers can still persist what
+ran.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import repro
+from repro.errors import ScenarioError
+from repro.runner import SweepRunner, default_runner
+from repro.scenarios.invariants import build_violation, check_invariants
+from repro.scenarios.loader import CompiledSuite, compile_scenario
+from repro.scenarios.report import build_report, figure_rows, outcome_rows
+from repro.scenarios.schema import Scenario
+
+
+def _run_job_suite(
+    compiled: CompiledSuite, scenario: Scenario, runner: SweepRunner
+) -> List[Dict[str, object]]:
+    outcomes = runner.run(list(compiled.jobs))
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    if failures:
+        first = failures[0]
+        raise ScenarioError(
+            f"scenario {scenario.name!r}: {len(failures)} of {len(outcomes)} "
+            f"job(s) failed; first failure "
+            f"({first.job.kind}/{first.job.system}):\n{first.error}"
+        )
+    rows: List[Dict[str, object]] = []
+    for outcome in outcomes:
+        rows.extend(outcome_rows(outcome, outcome.job.spec_hash()))
+    return rows
+
+
+def _run_figure_suite(
+    compiled: CompiledSuite, scenario: Scenario, runner: SweepRunner
+) -> List[Dict[str, object]]:
+    figure = compiled.figure
+    start = time.perf_counter()
+    try:
+        raw_rows = figure.figure.rows(runner=runner, **figure.options)
+    except ScenarioError:
+        raise
+    except Exception as exc:
+        raise ScenarioError(
+            f"scenario {scenario.name!r}: figure {figure.figure.name!r} failed: {exc}"
+        ) from exc
+    wall_s = time.perf_counter() - start
+    suite_hash = compiled.suite.spec_hash(repro.__version__)
+    return figure_rows(suite_hash, figure.figure.name, raw_rows, wall_s)
+
+
+def run_scenario(
+    scenario: Scenario,
+    runner: Optional[SweepRunner] = None,
+    enforce: bool = True,
+) -> Dict[str, object]:
+    """Execute ``scenario`` end to end and return its report dictionary.
+
+    With ``enforce=True`` (the default) a violated invariant raises
+    :class:`~repro.errors.InvariantViolation`; the fully built report is
+    attached to the exception as its ``report`` attribute.
+    """
+    compiled_suites = compile_scenario(scenario)
+    runner = runner or default_runner()
+    start = time.perf_counter()
+    rows: List[Dict[str, object]] = []
+    for compiled in compiled_suites:
+        if compiled.is_figure:
+            rows.extend(_run_figure_suite(compiled, scenario, runner))
+        else:
+            rows.extend(_run_job_suite(compiled, scenario, runner))
+    wall_s = time.perf_counter() - start
+    invariant_records = check_invariants(scenario, rows)
+    report = build_report(
+        scenario,
+        rows,
+        wall_s=wall_s,
+        spec_version=repro.__version__,
+        runner_stats=runner.stats.as_dict(),
+        invariants=invariant_records,
+    )
+    if enforce:
+        violation = build_violation(scenario.name, invariant_records)
+        if violation is not None:
+            violation.report = report
+            raise violation
+    return report

@@ -1,0 +1,367 @@
+"""Scenario discovery, loading, and compilation into SimJob batches.
+
+Manifests live as one ``<name>.json`` file per scenario (the file stem must
+equal the manifest's ``name``), by default under ``scenarios/`` at the
+repository root — override with the ``REPRO_SCENARIOS_DIR`` environment
+variable or the CLI's ``--dir`` flag.
+
+Compilation turns a validated :class:`~repro.scenarios.schema.Scenario` into
+the exact :class:`~repro.runner.SimJob` batch the hand-written harnesses
+build: ``training_grid`` suites compile through
+:func:`repro.experiments.common.grid_jobs`, ``cross_topology`` through
+:func:`repro.experiments.cross_topology.cross_topology_jobs`, and so on — so
+a manifest-driven run produces byte-identical job specs (and therefore cache
+keys) to the corresponding figure harness.  ``figure`` suites delegate to a
+harness run function (:data:`FIGURES`) for the few figures whose job
+parameters are computed rather than declared (e.g. Fig. 4's contended
+resource estimates).
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import ReproError, ScenarioError
+from repro.runner import SimJob, area_power_job, network_drive_job
+from repro.scenarios.schema import Scenario, Suite
+
+#: Environment variable overriding the default scenario manifest directory.
+SCENARIO_DIR_ENV = "REPRO_SCENARIOS_DIR"
+
+
+def default_scenario_dir() -> Path:
+    """The manifest directory: ``$REPRO_SCENARIOS_DIR``, ``./scenarios``, or
+    the ``scenarios/`` directory next to this source checkout."""
+    env = os.environ.get(SCENARIO_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    cwd = Path.cwd() / "scenarios"
+    if cwd.is_dir():
+        return cwd
+    checkout = Path(__file__).resolve().parents[3] / "scenarios"
+    return checkout if checkout.is_dir() else cwd
+
+
+# ---------------------------------------------------------------------------
+# Loading
+# ---------------------------------------------------------------------------
+
+
+def load_scenario_file(path: Union[str, Path]) -> Scenario:
+    """Parse and validate one manifest file.
+
+    The manifest's ``name`` must match the file stem, so that
+    ``scenarios/<name>.json`` is always the scenario named ``<name>``.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario manifest {path}: {exc}") from None
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"{path}: not valid JSON ({exc})") from None
+    scenario = Scenario.from_dict(data, source=str(path))
+    if scenario.name != path.stem:
+        raise ScenarioError(
+            f"{path}: scenario name {scenario.name!r} must match the file "
+            f"stem {path.stem!r} (rename the file or the scenario)"
+        )
+    return scenario
+
+
+def discover_scenarios(directory: Union[str, Path, None] = None) -> List[Scenario]:
+    """Load every ``*.json`` manifest in ``directory``, sorted by name."""
+    directory = Path(directory) if directory is not None else default_scenario_dir()
+    if not directory.is_dir():
+        raise ScenarioError(
+            f"scenario directory {directory} does not exist "
+            f"(set {SCENARIO_DIR_ENV} or pass --dir)"
+        )
+    return [load_scenario_file(path) for path in sorted(directory.glob("*.json"))]
+
+
+def find_scenario(name: str, directory: Union[str, Path, None] = None) -> Scenario:
+    """Load the scenario called ``name``, with a helpful error if absent."""
+    directory = Path(directory) if directory is not None else default_scenario_dir()
+    path = directory / f"{name}.json"
+    if not path.is_file():
+        available = sorted(p.stem for p in directory.glob("*.json")) if directory.is_dir() else []
+        raise ScenarioError(f"no scenario named {name!r} in {directory}; available: {available}")
+    return load_scenario_file(path)
+
+
+# ---------------------------------------------------------------------------
+# Figure registry (harness-delegating suites)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FigureRunner:
+    """A figure harness usable from a ``figure`` suite: returns result rows."""
+
+    name: str
+    rows: Callable[..., List[Dict[str, object]]]
+    description: str
+
+
+def _fig11_rows(**kwargs) -> List[Dict[str, object]]:
+    from repro.experiments.fig11_scaling import run_fig11
+
+    data = run_fig11(**kwargs)
+    return list(data["breakdown"]) + list(data["speedups"])
+
+
+def _figure_registry() -> Dict[str, FigureRunner]:
+    """Lazily built name -> harness map (import cost only when needed)."""
+    from repro.experiments.fig4_microbench import run_fig4
+    from repro.experiments.fig5_membw_sweep import run_fig5
+    from repro.experiments.fig6_sm_sweep import run_fig6
+    from repro.experiments.fig9_dse import run_fig9a, run_fig9b
+    from repro.experiments.fig10_overlap import run_fig10
+    from repro.experiments.fig12_dlrm_opt import run_fig12
+    from repro.experiments.table4_area import run_table4
+
+    return {
+        "fig4": FigureRunner("fig4", run_fig4, "all-reduce slowdown under compute contention"),
+        "fig5": FigureRunner("fig5", run_fig5, "network BW vs memory BW for communication"),
+        "fig6": FigureRunner("fig6", run_fig6, "network BW vs #SMs for communication"),
+        "fig9a": FigureRunner("fig9a", run_fig9a, "ACE SRAM/FSM design-space sweep"),
+        "fig9b": FigureRunner("fig9b", run_fig9b, "ACE utilization, forward vs backward"),
+        "fig10": FigureRunner("fig10", run_fig10, "compute/communication overlap summary"),
+        "fig11": FigureRunner("fig11", _fig11_rows, "scaling breakdown and speedups"),
+        "fig12": FigureRunner("fig12", run_fig12, "DLRM default vs optimised loop"),
+        "table4": FigureRunner("table4", run_table4, "ACE area/power roll-up"),
+    }
+
+
+def figure_names() -> List[str]:
+    """Figure names a ``figure`` suite may reference."""
+    return sorted(_figure_registry())
+
+
+def resolve_figure(suite: Suite, context: str) -> "CompiledFigure":
+    """Validate a ``figure`` suite against the registry and its signature."""
+    registry = _figure_registry()
+    name = str(suite.spec["figure"])
+    if name not in registry:
+        raise ScenarioError(
+            f"{context}: unknown figure {name!r}; expected one of {sorted(registry)}"
+        )
+    runner = registry[name]
+    parameters = inspect.signature(runner.rows).parameters
+    options = dict(suite.spec.get("options", {}))
+    unknown = sorted(set(options) - set(parameters))
+    if unknown:
+        raise ScenarioError(
+            f"{context}: figure {name!r} does not accept option(s) {unknown}; "
+            f"accepted: {sorted(set(parameters) - {'runner', 'fast'})}"
+        )
+    if "fast" in parameters:
+        options.setdefault("fast", bool(suite.spec.get("fast", True)))
+    elif "fast" in suite.spec:
+        raise ScenarioError(
+            f"{context}: figure {name!r} has no fast/paper-scale mode; "
+            f"remove the 'fast' field"
+        )
+    return CompiledFigure(figure=runner, options=options)
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompiledFigure:
+    """A resolved figure harness plus the keyword options to call it with."""
+
+    figure: FigureRunner
+    options: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CompiledSuite:
+    """One suite compiled to executable form: a job batch or a figure call."""
+
+    suite: Suite
+    jobs: Sequence[SimJob] = ()
+    figure: Optional[CompiledFigure] = None
+
+    @property
+    def is_figure(self) -> bool:
+        """True when this suite delegates to a harness instead of jobs."""
+        return self.figure is not None
+
+
+def _check_names(values: Sequence[str], allowed: Sequence[str], what: str) -> None:
+    """Reject unknown preset/workload names at compile time, not in a worker."""
+    from repro.errors import ConfigurationError
+
+    unknown = sorted(set(values) - set(allowed))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {what} name(s) {unknown}; expected one of {sorted(allowed)}"
+        )
+
+
+def _check_systems(values: Sequence[str]) -> None:
+    from repro.config.presets import SYSTEM_CONFIG_NAMES
+
+    _check_names(values, SYSTEM_CONFIG_NAMES, "system")
+
+
+def _check_workloads(values: Sequence[str]) -> None:
+    from repro.workloads.registry import available_workloads
+
+    _check_names(values, available_workloads(), "workload")
+
+
+def _compile_training_grid(spec: Mapping[str, object]) -> List[SimJob]:
+    from repro.experiments.common import PAPER_SYSTEMS, grid_jobs
+
+    _check_systems(tuple(spec.get("systems", PAPER_SYSTEMS)))
+    _check_workloads(tuple(spec.get("workloads", ())))
+    return grid_jobs(
+        systems=tuple(spec.get("systems", PAPER_SYSTEMS)),
+        workloads=tuple(spec.get("workloads", ("resnet50", "gnmt", "dlrm"))),
+        sizes=tuple(spec.get("sizes", (16, 32, 64, 128))),
+        iterations=int(spec.get("iterations", 2)),
+        fast=bool(spec.get("fast", True)),
+        overlap_embedding=bool(spec.get("overlap_embedding", False)),
+        fabric=spec.get("fabric"),
+        algorithm=str(spec.get("algorithm", "auto")),
+        backend=spec.get("backend"),
+        chunk_bytes=spec.get("chunk_bytes"),
+    )
+
+
+def _compile_network_drive(spec: Mapping[str, object]) -> List[SimJob]:
+    _check_systems(tuple(spec.get("systems", ("ace",))))
+    jobs: List[SimJob] = []
+    for fabric in spec["fabrics"]:
+        for op in spec.get("ops", ("all_reduce",)):
+            for algorithm in spec.get("algorithms", ("auto",)):
+                for backend in spec.get("backends", (None,)):
+                    for system in spec.get("systems", ("ace",)):
+                        jobs.append(
+                            network_drive_job(
+                                system,
+                                int(spec["payload_bytes"]),
+                                fabric=fabric,
+                                algorithm=algorithm,
+                                backend=backend,
+                                chunk_bytes=spec.get("chunk_bytes"),
+                                op=op,
+                                overrides=spec.get("overrides") or {},
+                            )
+                        )
+    return jobs
+
+
+def _compile_cross_topology(spec: Mapping[str, object]) -> List[SimJob]:
+    from repro.experiments.cross_topology import (
+        DEFAULT_CHUNK_BYTES,
+        DEFAULT_PAYLOAD_BYTES,
+        cross_topology_jobs,
+    )
+
+    _check_systems(tuple(spec.get("systems", ("ace",))))
+    return cross_topology_jobs(
+        op=str(spec.get("op", "all_reduce")),
+        sizes=tuple(spec.get("sizes", (16,))),
+        systems=tuple(spec.get("systems", ("ace",))),
+        payload_bytes=int(spec.get("payload_bytes", DEFAULT_PAYLOAD_BYTES)),
+        chunk_bytes=int(spec.get("chunk_bytes", DEFAULT_CHUNK_BYTES)),
+    )
+
+
+def _resolve_backend_validation(suite: Suite) -> "CompiledFigure":
+    """A delegating suite over the symmetric-vs-detailed validation harness.
+
+    The harness pairs every cell across both backends and reports one
+    *comparison* row per cell (``time_rel_err``, ``exposed_delta_frac``), so
+    a manifest can assert the paper-style model-validation bound with a
+    plain ``bound`` invariant.
+    """
+    from repro.experiments.backend_validation import run_backend_validation
+
+    system = str(suite.spec.get("system", "ace"))
+    _check_systems((system,))
+    options: Dict[str, object] = {"system": system}
+    if "training_cells" in suite.spec:
+        options["training_cells"] = [tuple(cell) for cell in suite.spec["training_cells"]]
+    if "drive_cells" in suite.spec:
+        options["drive_cells"] = [tuple(cell) for cell in suite.spec["drive_cells"]]
+    if "iterations" in suite.spec:
+        options["iterations"] = int(suite.spec["iterations"])
+    runner = FigureRunner(
+        "backend_validation",
+        run_backend_validation,
+        "symmetric vs detailed backend agreement",
+    )
+    return CompiledFigure(figure=runner, options=options)
+
+
+def _compile_area_power(spec: Mapping[str, object]) -> List[SimJob]:
+    from dataclasses import fields as dataclass_fields
+
+    from repro.config.system import AceConfig
+    from repro.errors import ConfigurationError
+
+    ace = spec.get("ace") or {}
+    unknown = sorted(set(ace) - {f.name for f in dataclass_fields(AceConfig)})
+    if unknown:
+        raise ConfigurationError(
+            f"unknown AceConfig field(s) {unknown} in 'ace' overrides; "
+            f"known fields: {sorted(f.name for f in dataclass_fields(AceConfig))}"
+        )
+    if not ace:
+        return [area_power_job()]
+    return [SimJob(kind="area_power", overrides={"ace": dict(ace)})]
+
+
+_COMPILERS: Dict[str, Callable[[Mapping[str, object]], List[SimJob]]] = {
+    "training_grid": _compile_training_grid,
+    "network_drive": _compile_network_drive,
+    "cross_topology": _compile_cross_topology,
+    "area_power": _compile_area_power,
+}
+
+
+def compile_suite(scenario: Scenario, index: int) -> CompiledSuite:
+    """Compile one suite of ``scenario`` into jobs (or a delegated harness)."""
+    suite = scenario.suites[index]
+    context = f"scenario {scenario.name!r} suite #{index}"
+    try:
+        if suite.kind == "figure":
+            return CompiledSuite(suite=suite, figure=resolve_figure(suite, context))
+        if suite.kind == "backend_validation":
+            return CompiledSuite(suite=suite, figure=_resolve_backend_validation(suite))
+        jobs = _COMPILERS[suite.kind](suite.spec)
+    except ScenarioError:
+        raise
+    except ReproError as exc:
+        raise ScenarioError(f"{context} ({suite.kind}): {exc}") from exc
+    if not jobs:
+        raise ScenarioError(f"{context} ({suite.kind}): compiled to an empty job batch")
+    return CompiledSuite(suite=suite, jobs=tuple(jobs))
+
+
+def compile_scenario(scenario: Scenario) -> List[CompiledSuite]:
+    """Compile every suite of ``scenario``; raises ScenarioError on any flaw."""
+    return [compile_suite(scenario, index) for index in range(len(scenario.suites))]
+
+
+def scenario_jobs(scenario: Scenario) -> List[SimJob]:
+    """All SimJobs a scenario compiles to (figure suites contribute none)."""
+    jobs: List[SimJob] = []
+    for compiled in compile_scenario(scenario):
+        jobs.extend(compiled.jobs)
+    return jobs

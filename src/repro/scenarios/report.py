@@ -1,0 +1,152 @@
+"""Uniform machine-readable reports for scenario runs.
+
+Every scenario run emits one report dictionary with the same shape the
+``BENCH_*.json`` benchmark artifacts use — top-level identification plus a
+flat ``results`` list whose rows carry ``spec_hash``, ``wall_s`` and the
+simulation metrics — so CI trend tooling can consume figure reproductions,
+off-paper sweeps and throughput benchmarks with one parser::
+
+    {
+      "schema": 1,
+      "benchmark": "scenario:paper-fast",
+      "scenario": "paper-fast",
+      "spec_version": "1.2.0",
+      "wall_s": 12.3,
+      "runner": {"jobs": 5, "executed": 5, "cache_hits": 0, ...},
+      "invariants": [{"invariant": "...", "ok": true, "detail": "..."}],
+      "results": [
+        {"spec_hash": "...", "wall_s": 0.8, "from_cache": false,
+         "kind": "training", "system": "ace", "workload": "resnet50",
+         "npus": 16, "iteration_time_us": 3088.4, ...},
+        ...
+      ]
+    }
+
+Rows are unrounded: the golden-regression suite compares the manifest path
+against the hand-written harness path at ``rel=1e-9``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.bandwidth import NetworkDriveResult
+from repro.errors import ScenarioError
+from repro.runner import JobOutcome, SimJob
+from repro.scenarios.schema import SCHEMA_VERSION, Scenario
+from repro.training.results import TrainingResult
+
+#: Keys shared by every result row, in report order.
+ROW_COMMON_KEYS = ("spec_hash", "wall_s", "from_cache", "kind")
+
+
+def training_row(job: SimJob, result: TrainingResult) -> Dict[str, object]:
+    """Unrounded report row for one training job."""
+    return {
+        "kind": "training",
+        "system": result.system_name,
+        "workload": result.workload_name,
+        "npus": result.num_npus,
+        "iterations": result.iterations,
+        "fabric": job.fabric,
+        "algorithm": job.algorithm,
+        "backend": job.backend,
+        "iteration_time_us": result.iteration_time_us,
+        "total_time_us": result.total_time_us,
+        "total_compute_us": result.total_compute_us,
+        "exposed_comm_us": result.exposed_comm_us,
+        "achieved_net_bw_gbps": result.achieved_network_bandwidth_gbps,
+    }
+
+
+def network_drive_row(job: SimJob, result: NetworkDriveResult) -> Dict[str, object]:
+    """Unrounded report row for one network-drive job."""
+    return {
+        "kind": "network_drive",
+        "system": result.system_name,
+        "npus": result.num_npus,
+        "fabric": job.fabric,
+        "op": job.op,
+        "algorithm": job.algorithm,
+        "backend": job.backend,
+        "payload_bytes": result.payload_bytes,
+        "duration_us": result.duration_ns / 1e3,
+        "net_bw_gbps": result.achieved_bandwidth_gbps,
+        "memory_read_bw_gbps": result.memory_read_bandwidth_gbps,
+    }
+
+
+def area_power_rows(job: SimJob, result: object) -> List[Dict[str, object]]:
+    """One report row per Table IV component of an area/power job."""
+    rows: List[Dict[str, object]] = []
+    for entry in result:
+        rows.append(
+            {
+                "kind": "area_power",
+                "system": job.system,
+                "component": entry["component"],
+                "area_um2": entry["area_um2"],
+                "power_mw": entry["power_mw"],
+            }
+        )
+    return rows
+
+
+def outcome_rows(outcome: JobOutcome, spec_hash: str) -> List[Dict[str, object]]:
+    """Report rows for one runner outcome (training/drive: one; area: many)."""
+    job = outcome.job
+    if job.kind == "training":
+        rows = [training_row(job, outcome.value)]
+    elif job.kind == "network_drive":
+        rows = [network_drive_row(job, outcome.value)]
+    else:
+        rows = area_power_rows(job, outcome.value)
+    for row in rows:
+        row["spec_hash"] = spec_hash
+        row["wall_s"] = outcome.duration_s
+        row["from_cache"] = outcome.from_cache
+    return rows
+
+
+def figure_rows(
+    suite_hash: str, figure_name: str, raw_rows: Sequence[Dict[str, object]], wall_s: float
+) -> List[Dict[str, object]]:
+    """Normalise a figure harness's rows into report rows.
+
+    Figure suites delegate to a harness whose job parameters are computed
+    rather than declared, so the rows share the *suite* declaration's hash
+    and the suite-level wall time.
+    """
+    rows: List[Dict[str, object]] = []
+    for raw in raw_rows:
+        row: Dict[str, object] = {"kind": "figure", "figure": figure_name}
+        row.update(raw)
+        row["spec_hash"] = suite_hash
+        row["wall_s"] = wall_s
+        row["from_cache"] = False
+        rows.append(row)
+    return rows
+
+
+def build_report(
+    scenario: Scenario,
+    rows: Sequence[Dict[str, object]],
+    wall_s: float,
+    spec_version: str,
+    runner_stats: Optional[Dict[str, int]] = None,
+    invariants: Optional[Sequence[Dict[str, object]]] = None,
+) -> Dict[str, object]:
+    """Assemble the uniform report dictionary for one scenario run."""
+    if not rows:
+        raise ScenarioError(f"scenario {scenario.name!r} produced no result rows")
+    return {
+        "schema": SCHEMA_VERSION,
+        "benchmark": f"scenario:{scenario.name}",
+        "scenario": scenario.name,
+        "description": scenario.description,
+        "spec_version": spec_version,
+        "wall_s": wall_s,
+        "runner": dict(runner_stats or {}),
+        "invariants": list(invariants or []),
+        "results": list(rows),
+    }

@@ -8,7 +8,6 @@ over the course of two training iterations, averaged over 1K-cycle windows.
 
 from __future__ import annotations
 
-from bisect import insort
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 

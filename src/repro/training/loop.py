@@ -31,7 +31,7 @@ from repro.compute.npu import NpuComputeEngine
 from repro.config.presets import torus_shape_for_npus
 from repro.config.system import EndpointKind, SystemConfig
 from repro.errors import SimulationError
-from repro.network.topology import Topology, Torus3D, torus_from_shape
+from repro.network.topology import Topology, torus_from_shape
 from repro.sim.engine import Simulator
 from repro.sim.process import Process
 from repro.training.comm import CollectiveExecutor, CollectiveHandle

@@ -12,7 +12,7 @@ report for one (system configuration, workload, platform size) point:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import SimulationError
 from repro.units import ns_to_us

@@ -17,7 +17,6 @@ from typing import List
 
 from repro.compute.kernels import (
     FP16_BYTES,
-    KernelCost,
     combine,
     elementwise_cost,
     gemm_cost,

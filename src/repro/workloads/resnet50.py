@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.compute.kernels import FP16_BYTES, KernelCost, conv2d_cost, gemm_cost
+from repro.compute.kernels import FP16_BYTES, conv2d_cost, gemm_cost
 from repro.workloads.base import Layer, Workload
 
 #: (num_blocks, base_channels, first_stride) for the four ResNet-50 stages.

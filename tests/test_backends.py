@@ -30,7 +30,6 @@ from repro.sim.engine import Simulator
 from repro.training.comm import CollectiveExecutor
 from repro.training.loop import simulate_training
 from repro.units import KB, MB
-from repro.workloads.registry import build_workload
 
 
 # ---------------------------------------------------------------------------

@@ -12,7 +12,6 @@ from repro.core.fsm import FsmPool
 from repro.core.granularity import GranularityPolicy
 from repro.core.sram import SramScratchpad, partition_sram
 from repro.errors import CollectiveError, ResourceError, SchedulingError
-from repro.network.topology import Torus3D
 from repro.units import KB, MB
 
 

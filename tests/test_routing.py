@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import RoutingError
 from repro.network.routing import average_hop_count, hop_count, ring_distance, xyz_route
-from repro.network.topology import TORUS_DIMENSIONS, Torus3D
+from repro.network.topology import TORUS_DIMENSIONS
 
 
 class TestRingDistance:

@@ -178,6 +178,24 @@ class TestCache:
         assert other.lookup(job) is None
         assert job.spec_hash("v1") != job.spec_hash("v2")
 
+    def test_prune_removes_stale_version_entries(self, tmp_path):
+        job = area_power_job()
+        SweepRunner(workers=1, cache=ResultCache(tmp_path, version="v1")).run_one(job)
+        current = ResultCache(tmp_path, version="v2")
+        SweepRunner(workers=1, cache=current).run_one(job)
+        unreadable = tmp_path / ("0" * 64 + ".json")
+        unreadable.write_text("{ not json", encoding="utf-8")
+        assert len(list(tmp_path.glob("*.json"))) == 3
+        # The v1 entry and the unreadable file go; the v2 entry stays usable.
+        assert current.prune() == 2
+        remaining = list(tmp_path.glob("*.json"))
+        assert remaining == [tmp_path / f"{job.spec_hash('v2')}.json"]
+        fresh = ResultCache(tmp_path, version="v2")
+        assert fresh.lookup(job) is not None
+
+    def test_prune_is_a_noop_for_memory_caches(self):
+        assert ResultCache().prune() == 0
+
     def test_mutating_a_cached_result_does_not_poison_the_cache(self):
         job = small_batch()[0]
         runner = SweepRunner(workers=1, cache=ResultCache())

@@ -1,0 +1,515 @@
+"""Scenario manifests, invariants, and the ``python -m repro`` CLI.
+
+Covers the manifest schema (round-trip, unknown-field/bad-spec errors),
+compilation into SimJob batches (byte-identical to the hand-written harness
+jobs for the paper grid), invariant checking (violation and typo'd-metric
+detection), the CLI subcommands end to end via subprocess, and a hypothesis
+property that any generated manifest compiles to hashable jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvariantViolation, ScenarioError
+from repro.experiments.common import PAPER_SYSTEMS, grid_jobs
+from repro.runner import ResultCache, SimJob, SweepRunner
+from repro.scenarios import (
+    Invariant,
+    Scenario,
+    check_invariants,
+    compile_scenario,
+    discover_scenarios,
+    enforce_invariants,
+    find_scenario,
+    load_scenario_file,
+    run_scenario,
+    scenario_jobs,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SCENARIO_DIR = REPO_ROOT / "scenarios"
+GOLDEN_PATH = Path(__file__).parent / "golden_values.json"
+
+
+def minimal_manifest(**overrides) -> dict:
+    data = {
+        "schema": 1,
+        "name": "tiny",
+        "description": "a minimal scenario",
+        "suites": [{"kind": "area_power"}],
+    }
+    data.update(overrides)
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Schema: round trip and validation errors
+# ---------------------------------------------------------------------------
+
+
+class TestSchema:
+    def test_round_trip_minimal(self):
+        scenario = Scenario.from_dict(minimal_manifest())
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_round_trip_every_shipped_manifest(self):
+        scenarios = discover_scenarios(SCENARIO_DIR)
+        assert len(scenarios) >= 10
+        for scenario in scenarios:
+            assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_unknown_top_level_field(self):
+        with pytest.raises(ScenarioError, match=r"unknown field\(s\) \['grids'\]"):
+            Scenario.from_dict(minimal_manifest(grids=[]))
+
+    def test_missing_schema_version(self):
+        data = minimal_manifest()
+        del data["schema"]
+        with pytest.raises(ScenarioError, match="'schema' is missing"):
+            Scenario.from_dict(data)
+
+    def test_unsupported_schema_version(self):
+        with pytest.raises(ScenarioError, match="unsupported schema version 99"):
+            Scenario.from_dict(minimal_manifest(schema=99))
+
+    def test_bad_name_slug(self):
+        with pytest.raises(ScenarioError, match="lowercase slug"):
+            Scenario.from_dict(minimal_manifest(name="Not A Slug"))
+
+    def test_empty_description(self):
+        with pytest.raises(ScenarioError, match="non-empty 'description'"):
+            Scenario.from_dict(minimal_manifest(description=""))
+
+    def test_unknown_suite_kind(self):
+        data = minimal_manifest(suites=[{"kind": "quantum_grid"}])
+        with pytest.raises(ScenarioError, match="unknown suite kind 'quantum_grid'"):
+            Scenario.from_dict(data)
+
+    def test_unknown_suite_field_names_the_field_and_suite(self):
+        data = minimal_manifest(
+            suites=[{"kind": "training_grid", "workloadz": ["resnet50"]}]
+        )
+        with pytest.raises(ScenarioError, match=r"suite #0.*workloadz"):
+            Scenario.from_dict(data)
+
+    def test_suite_field_type_error(self):
+        data = minimal_manifest(suites=[{"kind": "training_grid", "sizes": "16"}])
+        with pytest.raises(ScenarioError, match="'sizes' must be a list of integers"):
+            Scenario.from_dict(data)
+
+    def test_network_drive_requires_payload_and_fabrics(self):
+        data = minimal_manifest(suites=[{"kind": "network_drive", "fabrics": ["ring:4"]}])
+        with pytest.raises(ScenarioError, match="'payload_bytes' is missing"):
+            Scenario.from_dict(data)
+
+    def test_unknown_invariant_kind(self):
+        data = minimal_manifest(invariants=[{"kind": "monotone", "metric": "x"}])
+        with pytest.raises(ScenarioError, match="unknown invariant kind 'monotone'"):
+            Scenario.from_dict(data)
+
+    def test_ordering_needs_two_names(self):
+        data = minimal_manifest(
+            invariants=[{"kind": "ordering", "metric": "x", "order": ["only"]}]
+        )
+        with pytest.raises(ScenarioError, match="at least two names"):
+            Scenario.from_dict(data)
+
+    def test_bound_needs_min_or_max(self):
+        data = minimal_manifest(invariants=[{"kind": "bound", "metric": "x"}])
+        with pytest.raises(ScenarioError, match="'min' and/or 'max'"):
+            Scenario.from_dict(data)
+
+    def test_suites_must_be_non_empty(self):
+        with pytest.raises(ScenarioError, match="non-empty list"):
+            Scenario.from_dict(minimal_manifest(suites=[]))
+
+
+# ---------------------------------------------------------------------------
+# Loader: files, discovery, compilation
+# ---------------------------------------------------------------------------
+
+
+class TestLoader:
+    def test_bad_json_names_the_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ScenarioError, match="not valid JSON"):
+            load_scenario_file(path)
+
+    def test_name_must_match_file_stem(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps(minimal_manifest()), encoding="utf-8")
+        with pytest.raises(ScenarioError, match="must match the file stem"):
+            load_scenario_file(path)
+
+    def test_find_scenario_lists_available(self, tmp_path):
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps(minimal_manifest()), encoding="utf-8")
+        with pytest.raises(ScenarioError, match=r"available: \['tiny'\]"):
+            find_scenario("nope", tmp_path)
+
+    def test_bad_fabric_spec_is_wrapped_with_context(self):
+        data = minimal_manifest(
+            suites=[
+                {
+                    "kind": "network_drive",
+                    "payload_bytes": 1024,
+                    "fabrics": ["torus:not-a-shape"],
+                }
+            ]
+        )
+        scenario = Scenario.from_dict(data)
+        with pytest.raises(ScenarioError, match="suite #0"):
+            compile_scenario(scenario)
+
+    def test_unknown_figure_name(self):
+        data = minimal_manifest(suites=[{"kind": "figure", "figure": "fig99"}])
+        scenario = Scenario.from_dict(data)
+        with pytest.raises(ScenarioError, match="unknown figure 'fig99'"):
+            compile_scenario(scenario)
+
+    def test_unknown_system_name_fails_at_compile_time(self):
+        data = minimal_manifest(
+            suites=[{"kind": "training_grid", "systems": ["acee"], "sizes": [16]}]
+        )
+        with pytest.raises(ScenarioError, match=r"unknown system name\(s\) \['acee'\]"):
+            compile_scenario(Scenario.from_dict(data))
+
+    def test_unknown_workload_name_fails_at_compile_time(self):
+        data = minimal_manifest(
+            suites=[{"kind": "training_grid", "workloads": ["resnet51"], "sizes": [16]}]
+        )
+        with pytest.raises(ScenarioError, match="unknown workload name"):
+            compile_scenario(Scenario.from_dict(data))
+
+    def test_unknown_ace_override_field_fails_at_compile_time(self):
+        data = minimal_manifest(suites=[{"kind": "area_power", "ace": {"sram_mbz": 8}}])
+        with pytest.raises(ScenarioError, match=r"unknown AceConfig field\(s\) \['sram_mbz'\]"):
+            compile_scenario(Scenario.from_dict(data))
+
+    def test_fast_flag_rejected_for_fastless_figure(self):
+        data = minimal_manifest(
+            suites=[{"kind": "figure", "figure": "table4", "fast": False}]
+        )
+        with pytest.raises(ScenarioError, match="no fast/paper-scale mode"):
+            compile_scenario(Scenario.from_dict(data))
+
+    def test_unknown_figure_option(self):
+        data = minimal_manifest(
+            suites=[{"kind": "figure", "figure": "fig10", "options": {"bogus": 1}}]
+        )
+        scenario = Scenario.from_dict(data)
+        with pytest.raises(ScenarioError, match=r"does not accept option\(s\) \['bogus'\]"):
+            compile_scenario(scenario)
+
+    def test_every_shipped_manifest_compiles(self):
+        for scenario in discover_scenarios(SCENARIO_DIR):
+            compiled = compile_scenario(scenario)
+            assert compiled, scenario.name
+
+    def test_paper_fast_compiles_to_harness_identical_jobs(self):
+        """Acceptance: the manifest path produces byte-identical spec hashes."""
+        scenario = find_scenario("paper-fast", SCENARIO_DIR)
+        manifest_jobs = scenario_jobs(scenario)
+        harness_jobs = grid_jobs(
+            systems=PAPER_SYSTEMS, workloads=("resnet50",), sizes=(16,), fast=True
+        )
+        assert [job.to_json() for job in manifest_jobs] == [
+            job.to_json() for job in harness_jobs
+        ]
+        assert [job.spec_hash() for job in manifest_jobs] == [
+            job.spec_hash() for job in harness_jobs
+        ]
+
+    def test_fig11_manifest_matches_fast_harness_grid(self):
+        scenario = find_scenario("fig11-scaling", SCENARIO_DIR)
+        manifest_jobs = scenario_jobs(scenario)
+        harness_jobs = grid_jobs(
+            systems=PAPER_SYSTEMS,
+            workloads=("resnet50", "dlrm"),
+            sizes=(16, 64),
+            fast=True,
+        )
+        assert [job.spec_hash() for job in manifest_jobs] == [
+            job.spec_hash() for job in harness_jobs
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Invariants
+# ---------------------------------------------------------------------------
+
+ROWS = [
+    {"system": "Ideal", "workload": "w", "npus": 16, "iteration_time_us": 10.0},
+    {"system": "ACE", "workload": "w", "npus": 16, "iteration_time_us": 12.0},
+    {"system": "Baseline", "workload": "w", "npus": 16, "iteration_time_us": 15.0},
+]
+
+
+class TestInvariants:
+    def test_ordering_holds(self):
+        invariant = Invariant(
+            kind="ordering",
+            metric="iteration_time_us",
+            order=("Ideal", "ACE", "Baseline"),
+        )
+        scenario = Scenario.from_dict(minimal_manifest())
+        records = check_invariants(
+            Scenario(
+                name=scenario.name,
+                description=scenario.description,
+                suites=scenario.suites,
+                invariants=(invariant,),
+            ),
+            ROWS,
+        )
+        assert records[0]["ok"], records[0]["detail"]
+
+    def test_ordering_violation_names_the_pair(self):
+        invariant = Invariant(
+            kind="ordering",
+            metric="iteration_time_us",
+            order=("Baseline", "Ideal"),
+        )
+        scenario = Scenario.from_dict(minimal_manifest())
+        bad = Scenario(
+            name=scenario.name,
+            description=scenario.description,
+            suites=scenario.suites,
+            invariants=(invariant,),
+        )
+        with pytest.raises(InvariantViolation, match="Baseline=15 > Ideal=10"):
+            enforce_invariants(bad, ROWS)
+
+    def test_bound_violation(self):
+        invariant = Invariant(kind="bound", metric="iteration_time_us", max=11.0)
+        record = check_invariants(
+            Scenario(name="x", description="d", invariants=(invariant,)), ROWS
+        )[0]
+        assert not record["ok"]
+        assert "> max 11.0" in record["detail"]
+
+    def test_positive_violation(self):
+        invariant = Invariant(kind="positive", metric="iteration_time_us")
+        rows = ROWS + [{"system": "Broken", "iteration_time_us": 0.0}]
+        record = check_invariants(
+            Scenario(name="x", description="d", invariants=(invariant,)), rows
+        )[0]
+        assert not record["ok"]
+
+    def test_typo_metric_is_a_failure_not_a_pass(self):
+        invariant = Invariant(kind="positive", metric="iteration_time_uz")
+        record = check_invariants(
+            Scenario(name="x", description="d", invariants=(invariant,)), ROWS
+        )[0]
+        assert not record["ok"]
+        assert "no result row carries metric" in record["detail"]
+
+    def test_where_filter_restricts_rows(self):
+        invariant = Invariant(
+            kind="bound",
+            metric="iteration_time_us",
+            max=11.0,
+            where={"system": "Ideal"},
+        )
+        record = check_invariants(
+            Scenario(name="x", description="d", invariants=(invariant,)), ROWS
+        )[0]
+        assert record["ok"], record["detail"]
+
+
+# ---------------------------------------------------------------------------
+# Execution: manifest path reproduces the golden grid numbers
+# ---------------------------------------------------------------------------
+
+
+class TestRunScenario:
+    def test_paper_fast_reproduces_golden_values(self):
+        scenario = find_scenario("paper-fast", SCENARIO_DIR)
+        runner = SweepRunner(workers=1, cache=ResultCache())
+        report = run_scenario(scenario, runner=runner)
+        golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+        expected = golden["grid_resnet50_16npus_iteration_us"]
+        actual = {
+            row["system"]: row["iteration_time_us"] for row in report["results"]
+        }
+        assert set(actual) == set(expected)
+        for system, value in expected.items():
+            assert actual[system] == pytest.approx(value, rel=1e-9), system
+        for record in report["invariants"]:
+            assert record["ok"], record
+        for row in report["results"]:
+            assert len(row["spec_hash"]) == 64
+            assert row["wall_s"] >= 0.0
+
+    def test_report_shape_matches_bench_convention(self):
+        scenario = find_scenario("table4-area", SCENARIO_DIR)
+        report = run_scenario(scenario, runner=SweepRunner(workers=1))
+        for key in ("benchmark", "scenario", "spec_version", "wall_s", "results"):
+            assert key in report
+        assert report["benchmark"] == "scenario:table4-area"
+        for row in report["results"]:
+            assert "spec_hash" in row and "wall_s" in row
+
+    def test_invariant_violation_carries_the_report(self, tmp_path):
+        data = minimal_manifest(
+            name="impossible",
+            invariants=[{"kind": "bound", "metric": "area_um2", "max": 0.0}],
+        )
+        scenario = Scenario.from_dict(data)
+        with pytest.raises(InvariantViolation) as excinfo:
+            run_scenario(scenario, runner=SweepRunner(workers=1))
+        assert excinfo.value.report["results"]
+
+
+# ---------------------------------------------------------------------------
+# CLI subprocess smoke
+# ---------------------------------------------------------------------------
+
+
+def run_cli(*args, cwd=REPO_ROOT, timeout=300):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.setdefault("REPRO_WORKERS", "1")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=str(cwd),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestCli:
+    def test_list_shows_all_scenarios(self):
+        proc = run_cli("list")
+        assert proc.returncode == 0, proc.stderr
+        for name in ("paper-fast", "cross-topology", "megatron-tp-scaling"):
+            assert name in proc.stdout
+        count = len(list(SCENARIO_DIR.glob("*.json")))
+        assert count >= 10
+        assert f"{count} scenario(s)" in proc.stdout
+
+    def test_validate_all_manifests(self):
+        proc = run_cli("validate")
+        assert proc.returncode == 0, proc.stderr
+        assert "manifest(s) valid" in proc.stdout
+
+    def test_validate_reports_broken_manifest(self, tmp_path):
+        (tmp_path / "bad.json").write_text(
+            json.dumps(minimal_manifest(name="bad", extra_field=1)), encoding="utf-8"
+        )
+        proc = run_cli("validate", "--dir", str(tmp_path))
+        assert proc.returncode == 1
+        assert "extra_field" in proc.stdout + proc.stderr
+
+    def test_run_writes_report(self, tmp_path):
+        (tmp_path / "tiny.json").write_text(
+            json.dumps(minimal_manifest()), encoding="utf-8"
+        )
+        out = tmp_path / "report.json"
+        proc = run_cli("run", "tiny", "--dir", str(tmp_path), "--out", str(out))
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["scenario"] == "tiny"
+        assert report["results"]
+
+    def test_run_fails_on_violated_invariant_but_writes_report(self, tmp_path):
+        data = minimal_manifest(
+            name="tiny",
+            invariants=[{"kind": "bound", "metric": "area_um2", "max": 0.0}],
+        )
+        (tmp_path / "tiny.json").write_text(json.dumps(data), encoding="utf-8")
+        out = tmp_path / "report.json"
+        proc = run_cli("run", "tiny", "--dir", str(tmp_path), "--out", str(out))
+        assert proc.returncode == 1
+        assert "invariant" in (proc.stdout + proc.stderr).lower()
+        assert out.is_file()
+
+    def test_unknown_scenario_is_a_clean_error(self):
+        proc = run_cli("run", "no-such-scenario")
+        assert proc.returncode == 1
+        assert "error:" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+
+# ---------------------------------------------------------------------------
+# Property: generated manifests compile to hashable jobs
+# ---------------------------------------------------------------------------
+
+_SYSTEMS = st.lists(
+    st.sampled_from(sorted(PAPER_SYSTEMS)), min_size=1, max_size=3, unique=True
+)
+_WORKLOADS = st.lists(
+    st.sampled_from(["resnet50", "gnmt", "dlrm", "megatron"]),
+    min_size=1,
+    max_size=2,
+    unique=True,
+)
+_SIZES = st.lists(
+    st.sampled_from([8, 16, 32, 64, 128]), min_size=1, max_size=3, unique=True
+)
+
+
+@st.composite
+def manifests(draw):
+    suites = [
+        {
+            "kind": "training_grid",
+            "systems": draw(_SYSTEMS),
+            "workloads": draw(_WORKLOADS),
+            "sizes": draw(_SIZES),
+            "iterations": draw(st.integers(min_value=1, max_value=4)),
+            "fast": draw(st.booleans()),
+        }
+    ]
+    if draw(st.booleans()):
+        suites.append(
+            {
+                "kind": "network_drive",
+                "payload_bytes": draw(st.sampled_from([1 << 20, 8 << 20])),
+                "fabrics": draw(
+                    st.lists(
+                        st.sampled_from(["ring:8", "switch:16", "fc:16", "torus:4x2x2"]),
+                        min_size=1,
+                        max_size=2,
+                        unique=True,
+                    )
+                ),
+            }
+        )
+    return {
+        "schema": 1,
+        "name": "generated",
+        "description": "hypothesis-generated scenario",
+        "suites": suites,
+    }
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=manifests())
+def test_generated_manifests_compile_to_hashable_jobs(data):
+    scenario = Scenario.from_dict(data)
+    assert Scenario.from_dict(scenario.to_dict()) == scenario
+    jobs = scenario_jobs(scenario)
+    assert jobs
+    for job in jobs:
+        assert isinstance(job, SimJob)
+        assert isinstance(hash(job), int)
+        assert job.spec_hash() == SimJob.from_json(job.to_json()).spec_hash()
+        assert len(job.spec_hash()) == 64
+    # Equal specs collide: a re-parsed copy hashes identically.
+    reparsed_hashes = {hash(SimJob.from_json(job.to_json())) for job in jobs}
+    assert reparsed_hashes == {hash(job) for job in jobs}
