@@ -15,6 +15,14 @@ comparisons gate the CI ``fast-benchmarks`` job:
 Missing or extra cells fail the gate too: silently dropping a benchmark cell
 would otherwise read as "no regression".
 
+On top of the baseline diff, the *fresh* run must keep the detailed backend
+affordable: at every 32-NPU cell present for both backends, the
+detailed/symmetric wall-time ratio may not exceed ``--max-detailed-ratio``
+(default 2.0, env ``REPRO_BENCH_MAX_DETAILED_RATIO``).  Both walls come from
+the same run on the same machine, so the ratio is hardware-independent; it
+is the property the detailed hot path's coalescing/batching work bought, and
+this gate keeps it bought.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/compare_bench.py BENCH_backends.json \
@@ -39,6 +47,12 @@ from typing import Dict, List, Tuple
 DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "BENCH_backends.json"
 TOLERANCE_ENV = "REPRO_BENCH_TOLERANCE"
 DEFAULT_TOLERANCE = 0.25
+
+#: NPU count at which the detailed/symmetric wall ratio is gated — the
+#: largest cell the detailed backend benchmarks (the top of its "auto" rung).
+RATIO_NPUS = 32
+RATIO_ENV = "REPRO_BENCH_MAX_DETAILED_RATIO"
+DEFAULT_MAX_DETAILED_RATIO = 2.0
 
 #: Relative slack for the "exact" simulated-result comparison; absorbs float
 #: formatting of the JSON snapshot only, exactly like the golden-value suite.
@@ -98,6 +112,37 @@ def compare(
     return problems
 
 
+def check_detailed_ratio(
+    fresh: Dict[Key, Dict[str, object]], max_ratio: float
+) -> List[str]:
+    """Gate the fresh run's detailed/symmetric wall ratio at :data:`RATIO_NPUS`.
+
+    Compares same-run, same-machine walls, so the ratio is hardware
+    independent.  Cells missing either backend are skipped (the baseline
+    diff already flags missing cells).
+    """
+    problems: List[str] = []
+    for (backend, npus, workload), row in sorted(fresh.items()):
+        if backend != "detailed" or npus != RATIO_NPUS:
+            continue
+        reference = fresh.get(("symmetric", npus, workload))
+        if reference is None:
+            continue
+        detailed_wall = float(row["wall_s"])
+        symmetric_wall = float(reference["wall_s"])
+        if symmetric_wall <= 0:
+            continue
+        ratio = detailed_wall / symmetric_wall
+        if ratio > max_ratio:
+            problems.append(
+                f"detailed backend too slow at {npus} NPUs ({workload}): "
+                f"{detailed_wall:.3f}s vs symmetric {symmetric_wall:.3f}s = "
+                f"{ratio:.2f}x wall (max {max_ratio:.2f}x; the detailed hot "
+                f"path's coalescing/batching must keep this bounded)"
+            )
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh", help="freshly generated BENCH_backends.json")
@@ -113,16 +158,29 @@ def main(argv=None) -> int:
         help=f"allowed fractional wall-time regression (default {DEFAULT_TOLERANCE}, "
         f"or ${TOLERANCE_ENV})",
     )
+    parser.add_argument(
+        "--max-detailed-ratio",
+        type=float,
+        default=None,
+        help=f"max detailed/symmetric wall ratio at {RATIO_NPUS} NPUs in the "
+        f"fresh run (default {DEFAULT_MAX_DETAILED_RATIO}, or ${RATIO_ENV})",
+    )
     args = parser.parse_args(argv)
     tolerance = args.tolerance
     if tolerance is None:
         tolerance = float(os.environ.get(TOLERANCE_ENV, DEFAULT_TOLERANCE))
     if tolerance < 0:
         raise SystemExit(f"error: tolerance must be non-negative, got {tolerance}")
+    max_ratio = args.max_detailed_ratio
+    if max_ratio is None:
+        max_ratio = float(os.environ.get(RATIO_ENV, DEFAULT_MAX_DETAILED_RATIO))
+    if max_ratio <= 0:
+        raise SystemExit(f"error: max detailed ratio must be positive, got {max_ratio}")
 
     baseline = _load_rows(Path(args.baseline))
     fresh = _load_rows(Path(args.fresh))
     problems = compare(baseline, fresh, tolerance)
+    problems += check_detailed_ratio(fresh, max_ratio)
 
     for key in sorted(set(baseline) & set(fresh)):
         base_wall = float(baseline[key]["wall_s"])
@@ -139,7 +197,11 @@ def main(argv=None) -> int:
         for problem in problems:
             print(f"  - {problem}", file=sys.stderr)
         return 1
-    print(f"\nOK: no regressions vs {args.baseline} (wall tolerance {100 * tolerance:.0f}%)")
+    print(
+        f"\nOK: no regressions vs {args.baseline} (wall tolerance "
+        f"{100 * tolerance:.0f}%, detailed/symmetric wall ratio at "
+        f"{RATIO_NPUS} NPUs <= {max_ratio:.2f}x)"
+    )
     return 0
 
 

@@ -317,14 +317,18 @@ class SystemConfig:
     #: Network model executing the collective traffic: "symmetric" (the fast
     #: representative-NPU analytical model, the default and the paper's sweep
     #: vehicle), "detailed" (per-link FIFO serialization with hop-by-hop
-    #: contention; small-system validation and per-link observability), or
-    #: "auto" (detailed at or below ``network_backend_auto_threshold`` NPUs,
+    #: contention; small-system validation and per-link observability),
+    #: "hybrid" (per-link detail on the most-contended dimension, pipes on
+    #: the rest), or "auto" (detailed at or below
+    #: ``network_backend_auto_threshold`` NPUs, hybrid up to the hybrid cap,
     #: symmetric above).  Validated against the backend registry when the
     #: executor builds the fabric.
     network_backend: str = "symmetric"
     #: Largest NPU count the "auto" backend still simulates with the
     #: detailed per-link model (the paper validates small, sweeps large).
-    network_backend_auto_threshold: int = 32
+    #: Raised from 32 to 64 when the detailed hot path gained coalescing and
+    #: batched reservations.
+    network_backend_auto_threshold: int = 64
     #: Fixed overhead from issuing a collective until its first chunk can be
     #: processed.  For the baselines this is the communication-kernel launch
     #: and scheduling cost on a busy GPU (Section III measures multi-us

@@ -26,10 +26,12 @@ hiding that the symmetric pipe folds into one aggregate reservation.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.common import FAST_CHUNK_BYTES
+from repro.network.backend import VALIDATE_ACCOUNTING_ENV
 from repro.runner import SimJob, SweepRunner, default_runner, network_drive_job, training_job
 from repro.units import MB
 
@@ -66,7 +68,26 @@ DEFAULT_DRIVE_CELLS: Tuple[Tuple[str, str], ...] = (
 DRIVE_PAYLOAD_BYTES = 8 * MB
 DRIVE_CHUNK_BYTES = 1 * MB
 
+#: Default validated pair: (fast model under test, reference model).  Other
+#: pairs plug in through the ``backends`` parameter — notably
+#: ``("detailed", "hybrid")``, which bounds the hybrid backend against the
+#: fully detailed one on the small cells where both are feasible
+#: (``scenarios/hybrid-scale.json``).
 BACKENDS = ("symmetric", "detailed")
+
+
+def _check_backend_pair(backends: Sequence[str]) -> Tuple[str, str]:
+    """Validate a ``backends`` pair: exactly two distinct registered names."""
+    from repro.network.backend import validate_backend_name
+
+    pair = tuple(backends)
+    if len(pair) != 2 or pair[0] == pair[1]:
+        raise ConfigurationError(
+            f"backend validation needs exactly two distinct backends, got {pair!r}"
+        )
+    for name in pair:
+        validate_backend_name(str(name))
+    return (str(pair[0]), str(pair[1]))
 
 
 def backend_validation_jobs(
@@ -74,13 +95,15 @@ def backend_validation_jobs(
     training_cells: Sequence[Tuple[str, int]] = DEFAULT_TRAINING_CELLS,
     drive_cells: Sequence[Tuple[str, str]] = DEFAULT_DRIVE_CELLS,
     iterations: int = 2,
+    backends: Sequence[str] = BACKENDS,
 ) -> List[SimJob]:
-    """Paired job specs: each cell once per backend, symmetric first.
+    """Paired job specs: each cell once per backend, first-of-pair first.
 
     Cells larger than :data:`MAX_VALIDATED_NPUS` are rejected up front — the
     detailed backend is the validation vehicle and is only trustworthy (and
     affordable) on small systems.
     """
+    backends = _check_backend_pair(backends)
     jobs: List[SimJob] = []
     for workload, num_npus in training_cells:
         if num_npus > MAX_VALIDATED_NPUS:
@@ -88,7 +111,7 @@ def backend_validation_jobs(
                 f"backend validation is defined for <= {MAX_VALIDATED_NPUS} "
                 f"NPUs, got a {num_npus}-NPU training cell for {workload!r}"
             )
-        for backend in BACKENDS:
+        for backend in backends:
             jobs.append(
                 training_job(
                     system,
@@ -100,7 +123,7 @@ def backend_validation_jobs(
                 )
             )
     for fabric, op in drive_cells:
-        for backend in BACKENDS:
+        for backend in backends:
             jobs.append(
                 network_drive_job(
                     system,
@@ -115,6 +138,8 @@ def backend_validation_jobs(
 
 
 def _training_row(job: SimJob, symmetric, detailed) -> Dict[str, object]:
+    """Comparison row; ``sym_``/``det_`` prefixes mean (first, second) of the
+    validated backend pair — the fast model under test, then the reference."""
     ts, td = symmetric.total_time_ns, detailed.total_time_ns
     es, ed = symmetric.exposed_comm_ns, detailed.exposed_comm_ns
     return {
@@ -153,13 +178,17 @@ def run_backend_validation(
     drive_cells: Sequence[Tuple[str, str]] = DEFAULT_DRIVE_CELLS,
     iterations: int = 2,
     runner: Optional[SweepRunner] = None,
+    backends: Sequence[str] = BACKENDS,
 ) -> List[Dict[str, object]]:
     """Run every cell on both backends and return one comparison row per cell.
 
     Each row carries the per-backend headline metrics plus the two
     agreement measures the validation asserts on: ``time_rel_err`` (end-to-end
     completion time, relative) and ``exposed_delta_frac`` (exposed-communication
-    disagreement as a fraction of iteration time).
+    disagreement as a fraction of iteration time).  ``backends`` selects the
+    validated pair (default symmetric vs detailed; ``("detailed", "hybrid")``
+    bounds the hybrid model instead) — row keys keep their ``sym_``/``det_``
+    prefixes, meaning (first, second) of the pair.
     """
     runner = runner or default_runner()
     jobs = backend_validation_jobs(
@@ -167,8 +196,20 @@ def run_backend_validation(
         training_cells=training_cells,
         drive_cells=drive_cells,
         iterations=iterations,
+        backends=backends,
     )
-    results = runner.run_values(jobs)
+    # Validation runs are exactly where accounting bugs in batched/coalesced
+    # reservations must surface, so every cell asserts check_accounting()
+    # after simulating (workers inherit the environment).
+    previous = os.environ.get(VALIDATE_ACCOUNTING_ENV)
+    os.environ[VALIDATE_ACCOUNTING_ENV] = "1"
+    try:
+        results = runner.run_values(jobs)
+    finally:
+        if previous is None:
+            os.environ.pop(VALIDATE_ACCOUNTING_ENV, None)
+        else:
+            os.environ[VALIDATE_ACCOUNTING_ENV] = previous
     rows: List[Dict[str, object]] = []
     for index in range(0, len(jobs), 2):
         job = jobs[index]

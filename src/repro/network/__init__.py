@@ -2,7 +2,7 @@
 
 Execution backends implement the :class:`~repro.network.backend.NetworkBackend`
 protocol and are selected by name (``backend="symmetric" | "detailed" |
-"auto"``) through :func:`~repro.network.backend.make_network_backend`:
+"hybrid" | "auto"``) through :func:`~repro.network.backend.make_network_backend`:
 
 * :class:`~repro.network.symmetric.SymmetricFabric` (``"symmetric"``) — a
   single representative-node analytical model that exploits the symmetry of
@@ -11,6 +11,10 @@ protocol and are selected by name (``backend="symmetric" | "detailed" |
   representative NPU's physical port links with per-link FIFO serialization
   and hop-by-hop store-and-forward contention.  Used for small-system
   validation of the symmetric model and per-link observability.
+* :class:`~repro.network.hybrid.HybridBackend` (``"hybrid"``) — per-link
+  detail on the most-contended dimension only, aggregated pipes on the
+  rest.  Scales past the detailed backend's cap while keeping the hot
+  dimension's contention observable.
 
 :class:`~repro.network.fabric.FabricSimulator` is the standalone multi-node
 per-message model with explicit links and XYZ routing, used for routing
@@ -30,6 +34,7 @@ from repro.network.backend import (
     AUTO_BACKEND,
     DEFAULT_AUTO_NPU_THRESHOLD,
     MAX_DETAILED_NPUS,
+    MAX_HYBRID_NPUS,
     NetworkBackend,
     backend_names,
     make_network_backend,
@@ -42,6 +47,7 @@ from repro.network.messages import Chunk, Message, Packet
 from repro.network.routing import xyz_route, ring_distance
 from repro.network.fabric import FabricSimulator
 from repro.network.detailed import DetailedBackend
+from repro.network.hybrid import HybridBackend, most_contended_dimension
 from repro.network.symmetric import DimensionPipe, SymmetricFabric
 
 __all__ = [
@@ -55,6 +61,7 @@ __all__ = [
     "AUTO_BACKEND",
     "DEFAULT_AUTO_NPU_THRESHOLD",
     "MAX_DETAILED_NPUS",
+    "MAX_HYBRID_NPUS",
     "NetworkBackend",
     "backend_names",
     "make_network_backend",
@@ -71,5 +78,7 @@ __all__ = [
     "FabricSimulator",
     "DetailedBackend",
     "DimensionPipe",
+    "HybridBackend",
     "SymmetricFabric",
+    "most_contended_dimension",
 ]

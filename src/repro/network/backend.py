@@ -28,23 +28,31 @@ symmetric   :class:`~repro.network.symmetric.SymmetricFabric` — one
 detailed    :class:`~repro.network.detailed.DetailedBackend` — per-link
             FIFO serialization over the representative NPU's physical ports
             with hop-by-hop (per-ring-step) store-and-forward contention.
+hybrid      :class:`~repro.network.hybrid.HybridBackend` — per-link detail
+            on the most-contended dimension only, aggregated pipes on the
+            rest; near-detailed fidelity at near-symmetric cost.
 ==========  ================================================================
 
-``"auto"`` resolves to ``detailed`` for systems at or below a configurable
-NPU threshold (:data:`DEFAULT_AUTO_NPU_THRESHOLD`) and to ``symmetric``
-above it — the paper's own methodology (validate small, sweep large).
+``"auto"`` resolves by system size: ``detailed`` at or below a configurable
+NPU threshold (:data:`DEFAULT_AUTO_NPU_THRESHOLD`), ``hybrid`` up to
+:data:`MAX_HYBRID_NPUS`, and ``symmetric`` above that — the paper's own
+methodology (validate small, sweep large), with the hybrid rung keeping
+per-link contention observable at mid-scale now that the detailed hot path
+is coalesced.
 
 Infeasible combinations raise :class:`~repro.errors.ConfigurationError`
 with the offending backend and topology named: unknown backend names, a
-non-positive auto threshold, and an explicit ``detailed`` request on a
-platform larger than :data:`MAX_DETAILED_NPUS` (where per-message simulation
-would be orders of magnitude slower than the symmetric model without
-changing any conclusion — use ``symmetric``, or raise the cap knowingly).
+non-positive auto threshold, and an explicit ``detailed`` (``hybrid``)
+request on a platform larger than :data:`MAX_DETAILED_NPUS`
+(:data:`MAX_HYBRID_NPUS`), where per-message simulation would be orders of
+magnitude slower than the symmetric model without changing any conclusion —
+use ``symmetric``, or raise the cap knowingly.
 """
 
 from __future__ import annotations
 
 import abc
+import os
 from typing import Callable, Dict, List, Optional, Tuple, Type
 
 from repro.config.system import NetworkConfig
@@ -56,16 +64,38 @@ from repro.sim.resources import Reservation
 #: Backend name that defers the choice to the size heuristic.
 AUTO_BACKEND = "auto"
 
-#: "auto" uses the detailed per-link model up to this many NPUs and the
-#: symmetric analytical model above it (the paper validates on small systems
-#: and sweeps with the fast model).
-DEFAULT_AUTO_NPU_THRESHOLD = 32
+#: Environment variable that, when set to a non-empty value other than "0",
+#: makes every simulation assert :meth:`NetworkBackend.check_accounting`
+#: after it finishes.  Backend-validation runs set it so batched/coalesced
+#: reservation paths cannot silently double-book a FIFO resource; it is off
+#: by default because large sweeps have no reason to pay even the small
+#: per-run scan.
+VALIDATE_ACCOUNTING_ENV = "REPRO_VALIDATE_ACCOUNTING"
+
+
+def accounting_checks_enabled() -> bool:
+    """Whether :data:`VALIDATE_ACCOUNTING_ENV` asks for post-run accounting checks."""
+    return os.environ.get(VALIDATE_ACCOUNTING_ENV, "") not in ("", "0")
+
+#: "auto" uses the detailed per-link model up to this many NPUs (the paper
+#: validates on small systems and sweeps with the fast model).  Raised from
+#: 32 once the detailed hot path gained message coalescing and batched
+#: reservations — detailed is now within ~2x of symmetric wall time at this
+#: scale.  Between the threshold and :data:`MAX_HYBRID_NPUS`, "auto" picks
+#: the hybrid backend; above that, symmetric.
+DEFAULT_AUTO_NPU_THRESHOLD = 64
 
 #: Hard cap for explicit ``backend="detailed"`` requests.  Above this size a
 #: per-message, per-link simulation is infeasible for the sweeps this repo
 #: runs; :func:`make_network_backend` raises a ConfigurationError instead of
 #: silently taking hours.
 MAX_DETAILED_NPUS = 512
+
+#: Hard cap for explicit ``backend="hybrid"`` requests.  Hybrid simulates
+#: per-link detail on a single dimension, so it scales far past
+#: :data:`MAX_DETAILED_NPUS`, but its hot-dimension event count still grows
+#: with ring length; past this size use ``symmetric``.
+MAX_HYBRID_NPUS = 2048
 
 
 class NetworkBackend(abc.ABC):
@@ -163,6 +193,17 @@ class NetworkBackend(abc.ABC):
     def reset(self) -> None:
         """Clear every resource's reservations and accounting."""
 
+    def check_accounting(self, horizon_ns: float) -> None:
+        """Assert no fabric resource is busy for longer than ``horizon_ns``.
+
+        Busy time above the horizon means reservations double-booked a FIFO
+        resource — the failure mode batched/coalesced booking could
+        introduce.  Backends with internal bandwidth resources override this
+        to raise :class:`~repro.errors.ResourceError` on violation;
+        backend-validation runs call it after every simulation.  The default
+        is a no-op for closed-form backends with nothing to double-book.
+        """
+
 
 # ---------------------------------------------------------------------------
 # Registry
@@ -200,6 +241,7 @@ def _ensure_builtin_backends() -> None:
     module for the protocol and the decorator.
     """
     import repro.network.detailed  # noqa: F401
+    import repro.network.hybrid  # noqa: F401
     import repro.network.symmetric  # noqa: F401
 
 
@@ -230,8 +272,11 @@ def resolve_backend_name(
     """Resolve ``"auto"`` to a concrete backend name for ``topology``.
 
     ``auto_threshold`` (default :data:`DEFAULT_AUTO_NPU_THRESHOLD`) is the
-    largest NPU count still simulated with the detailed per-link model.
-    Explicit names pass through after registry validation.
+    largest NPU count still simulated with the detailed per-link model;
+    between it and :data:`MAX_HYBRID_NPUS` the hybrid backend keeps the
+    most-contended dimension at per-link detail, and above that the
+    symmetric model takes over.  Explicit names pass through after registry
+    validation.
     """
     validate_backend_name(name)
     if name != AUTO_BACKEND:
@@ -241,7 +286,11 @@ def resolve_backend_name(
         raise ConfigurationError(
             f"network-backend auto threshold must be positive, got {threshold}"
         )
-    return "detailed" if topology.num_nodes <= threshold else "symmetric"
+    if topology.num_nodes <= threshold:
+        return "detailed"
+    if topology.num_nodes <= MAX_HYBRID_NPUS:
+        return "hybrid"
+    return "symmetric"
 
 
 def make_network_backend(
@@ -262,8 +311,17 @@ def make_network_backend(
         raise ConfigurationError(
             f"network backend 'detailed' is infeasible for topology "
             f"{topology.name!r} with {topology.num_nodes} NPUs "
-            f"(cap: {MAX_DETAILED_NPUS}); use backend='symmetric' for large "
-            f"sweeps — the paper validates the symmetric model against the "
+            f"(cap: {MAX_DETAILED_NPUS}); use backend='hybrid' to keep the "
+            f"most-contended dimension at per-link detail, or 'symmetric' "
+            f"for large sweeps — the paper validates the fast models against "
+            f"the detailed one on small systems for exactly this reason"
+        )
+    if resolved == "hybrid" and topology.num_nodes > MAX_HYBRID_NPUS:
+        raise ConfigurationError(
+            f"network backend 'hybrid' is infeasible for topology "
+            f"{topology.name!r} with {topology.num_nodes} NPUs "
+            f"(cap: {MAX_HYBRID_NPUS}); use backend='symmetric' for large "
+            f"sweeps — the paper validates the fast models against the "
             f"detailed one on small systems for exactly this reason"
         )
     return _BACKENDS[resolved](topology, network)

@@ -44,7 +44,7 @@ the repo's analogue of the paper's model-validation claim).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.config.system import DIMENSION_LINK_CLASS, NetworkConfig
 from repro.errors import TopologyError
@@ -89,6 +89,8 @@ class DetailedBackend(NetworkBackend):
         topology: Topology,
         network: NetworkConfig,
         message_bytes: int = DEFAULT_MESSAGE_BYTES,
+        dimensions: Optional[Sequence[str]] = None,
+        coalesce: bool = True,
     ) -> None:
         if message_bytes <= 0:
             raise TopologyError(
@@ -97,8 +99,26 @@ class DetailedBackend(NetworkBackend):
         self.topology = topology
         self.network = network
         self.message_bytes = message_bytes
+        #: Whether uncontended steps may be booked in bulk (one reservation
+        #: per step).  ``False`` forces the per-message event path
+        #: for every transfer — the reference behaviour the equivalence
+        #: property tests compare against.
+        self.coalesce = coalesce
+        active = topology.active_dimensions()
+        if dimensions is None:
+            selected = active
+        else:
+            # The hybrid backend instantiates per-link detail on a subset of
+            # the fabric's dimensions; validate the filter eagerly.
+            unknown = [d for d in dimensions if d not in active]
+            if unknown:
+                raise TopologyError(
+                    f"dimension(s) {unknown} are not active in fabric "
+                    f"{topology.name!r} (active: {list(active)})"
+                )
+            selected = [d for d in active if d in dimensions]
         self._ports: Dict[str, List[Link]] = {}
-        for dim in topology.active_dimensions():
+        for dim in selected:
             count = self._ports_for_dimension(dim, network)
             self._ports[dim] = [
                 Link(src=0, dst=port, dimension=dim, network=network, traced=True)
@@ -108,6 +128,28 @@ class DetailedBackend(NetworkBackend):
             raise TopologyError(
                 f"topology {topology.name!r} has no active dimensions to model"
             )
+        # Every message stripes equally across a dimension's ports (see
+        # ``_carve``), so the ports of one dimension receive byte-identical
+        # request sequences and carry bit-identical timelines.  Only the
+        # *primary* port (index 0) is booked during simulation; the
+        # observability surface mirrors its stats onto the sibling ports
+        # (which exist as API placeholders) at reporting time.  This halves
+        # the per-request bookkeeping in the hot path without changing a
+        # single timing or reported statistic.
+        self._primary: Dict[str, Link] = {
+            dim: ports[0] for dim, ports in self._ports.items()
+        }
+        #: Event-mode transfers per dimension that may still *issue* port
+        #: requests (booked last reservation not yet made).  The coalescing
+        #: guard (see :meth:`transfer`) requires this transfer to be the
+        #: dimension's sole issuer; a predecessor whose requests are all
+        #: booked only occupies the FIFO tails, which batch booking queues
+        #: behind exactly like the per-message path would.
+        self._issuing: Dict[str, int] = {dim: 0 for dim in self._ports}
+        #: Observability counters: how many event-mode transfers ran, and how
+        #: many of them were bulk-booked (fully or partially).
+        self.transfers_started = 0
+        self.transfers_coalesced = 0
 
     @staticmethod
     def _ports_for_dimension(dimension: str, network: NetworkConfig) -> int:
@@ -175,25 +217,26 @@ class DetailedBackend(NetworkBackend):
         messages pipeline behind each other on the port FIFOs, and messages
         of *other* chunks or collectives interleave into any latency gaps.
         """
-        ports, steps, num_messages, bytes_per_port = self._carve(
+        _, steps, num_messages, bytes_per_port = self._carve(
             dimension, num_bytes, steps
         )
+        primary = self._primary[dimension]
+        sizes = [bytes_per_port] * num_messages
         # ready[m]: when message m of the *current* step has arrived at this
         # hop (and may therefore be forwarded as part of the next step).
+        # A step's messages hit the port FIFO in message order with their
+        # individual ready times, so one batch reservation per step books
+        # exactly the sequence the per-message loop would.  A message's
+        # finish is never before its ready time, so the batch's finishes ARE
+        # the next step's ready times.
         ready = [earliest_start] * num_messages
         first_start = None
-        finish = earliest_start
         for _ in range(steps):
-            for message in range(num_messages):
-                arrival = ready[message]
-                for port in ports:
-                    reservation = port.reserve(bytes_per_port, ready[message])
-                    arrival = max(arrival, reservation.finish)
-                    if first_start is None:
-                        first_start = reservation.start
-                ready[message] = arrival
-                finish = max(finish, arrival)
+            starts, ready = primary.reserve_batch(sizes, ready)
+            if first_start is None:
+                first_start = float(starts[0])
         assert first_start is not None
+        finish = max(max(ready), earliest_start)
         result = Reservation(start=first_start, finish=finish, num_bytes=num_bytes)
         object.__setattr__(result, "requested", earliest_start)
         return result
@@ -216,25 +259,78 @@ class DetailedBackend(NetworkBackend):
         contention behaviour the timeline-mode :meth:`reserve` cannot
         express, and the reason the executor drives this backend in event
         mode.
+
+        Coalescing (``self.coalesce``, default on): when this transfer is
+        the dimension's sole *issuer* — every other transfer on the
+        dimension has already booked its last port request — a step's
+        messages are booked as one batch reservation
+        (:meth:`Link.reserve_batch`) and the walk advances one *step* event
+        at a time instead of one *message* event, cutting the event count
+        per transfer by the messages-per-step factor.  Within a step the
+        messages' ready times are spaced exactly one message serialization
+        apart, and fully-booked predecessors only occupy the FIFO tails, so
+        the batch books the bit-identical sequence the per-message path
+        would.  The guard is re-checked at every step boundary; the moment a
+        competing issuer appears on the dimension the walk falls back to
+        per-message hops for its remaining steps.  The only divergence from
+        the pure per-message path is a competitor issued *between* the first
+        and last message arrivals of one step: its requests queue behind the
+        whole step batch instead of interleaving inside it, shifting timings
+        by at most one step's serialization — the pipeline-fill bound (see
+        :data:`MAX_MESSAGES_PER_STEP`).
         """
-        ports, steps, num_messages, bytes_per_port = self._carve(
+        _, steps, num_messages, bytes_per_port = self._carve(
             dimension, num_bytes, steps
         )
-        state = {"outstanding": num_messages, "finish": sim.now}
+        primary = self._primary[dimension]
+        reserve_times = primary.reserve_times
+        schedule_at = sim.schedule_at
+        issuing = self._issuing
+        issuing[dimension] += 1
+        self.transfers_started += 1
+        state = {"outstanding": 0, "finish": sim.now}
 
         def hop(step: int) -> None:
-            arrival = sim.now
-            for port in ports:
-                reservation = port.reserve(bytes_per_port, sim.now)
-                arrival = max(arrival, reservation.finish)
+            # A message's finish is never before sim.now, so the reservation
+            # finish is the arrival at the next hop.
+            _, arrival = reserve_times(bytes_per_port, sim.now)
             if step + 1 < steps:
-                sim.schedule_at(arrival, hop, step + 1)
+                schedule_at(arrival, hop, step + 1)
                 return
             state["outstanding"] -= 1
             state["finish"] = max(state["finish"], arrival)
             if state["outstanding"] == 0:
-                sim.schedule_at(state["finish"], on_complete, state["finish"])
+                # Last request booked: successors may coalesce from here on.
+                issuing[dimension] -= 1
+                schedule_at(state["finish"], on_complete, state["finish"])
 
+        sizes = [bytes_per_port] * num_messages
+
+        def bulk_step(step: int, ready: List[float]) -> None:
+            # sim.now == ready[0]; later messages' ready times ride along in
+            # the batch's per-request earliest-start sequence.
+            if issuing[dimension] > 1:
+                # A competing issuer appeared at this step boundary: preserve
+                # contention interleaving by walking the remaining steps
+                # per message, each hop re-entering at its arrival time.
+                state["outstanding"] += num_messages
+                for ready_m in ready:
+                    schedule_at(ready_m, hop, step)
+                return
+            _, arrival = primary.reserve_batch(sizes, ready)
+            if step + 1 < steps:
+                schedule_at(arrival[0], bulk_step, step + 1, arrival)
+                return
+            finish = max(arrival)
+            issuing[dimension] -= 1
+            schedule_at(finish, on_complete, finish)
+
+        if self.coalesce and issuing[dimension] == 1:
+            self.transfers_coalesced += 1
+            bulk_step(0, [sim.now] * num_messages)
+            return
+
+        state["outstanding"] = num_messages
         for _ in range(num_messages):
             hop(0)
 
@@ -256,8 +352,15 @@ class DetailedBackend(NetworkBackend):
 
     @property
     def bytes_injected(self) -> float:
-        """Total bytes the representative NPU injected into the fabric."""
-        return sum(p.bytes_moved for p in self._all_ports())
+        """Total bytes the representative NPU injected into the fabric.
+
+        Each dimension's ports carry identical timelines, so the primary
+        port's bytes times the port count is the dimension's total.
+        """
+        return sum(
+            self._primary[dim].bytes_moved * len(ports)
+            for dim, ports in self._ports.items()
+        )
 
     def achieved_bandwidth_gbps(self, horizon_ns: float) -> float:
         """Average network bandwidth the representative NPU drove over ``horizon_ns``."""
@@ -268,21 +371,27 @@ class DetailedBackend(NetworkBackend):
     def per_dimension_bytes(self) -> Dict[str, float]:
         """Bytes injected per dimension (algorithm-shape checks, Fig. 8)."""
         return {
-            dim: sum(p.bytes_moved for p in ports)
+            dim: self._primary[dim].bytes_moved * len(ports)
             for dim, ports in self._ports.items()
         }
 
     def per_link_stats(self) -> List[Dict[str, float]]:
-        """One row per physical port: dimension, bytes moved, busy time."""
+        """One row per physical port: dimension, bytes moved, busy time.
+
+        Sibling ports mirror the primary's stats — they carry byte-identical
+        timelines by construction (messages stripe equally across a
+        dimension's ports), so every row is the port's true traffic.
+        """
         rows: List[Dict[str, float]] = []
         for dim, ports in self._ports.items():
+            primary = self._primary[dim]
             for index, port in enumerate(ports):
                 rows.append(
                     {
                         "dimension": dim,
                         "port": float(index),
-                        "bytes_moved": port.bytes_moved,
-                        "busy_time_ns": port.busy_time,
+                        "bytes_moved": primary.bytes_moved,
+                        "busy_time_ns": primary.busy_time,
                         "bandwidth_gbps": port.effective_bandwidth_gbps,
                     }
                 )
@@ -292,38 +401,63 @@ class DetailedBackend(NetworkBackend):
         """Mean dimension utilization over ``horizon_ns``.
 
         Averaged per dimension first (each dimension's ports carry equal
-        shares, so a dimension's utilization is its ports' mean), then across
-        dimensions — the same weighting the symmetric backend reports, so the
-        two backends' Fig. 10 numbers are directly comparable.
+        shares, so a dimension's utilization is its primary port's), then
+        across dimensions — the same weighting the symmetric backend
+        reports, so the two backends' Fig. 10 numbers are directly
+        comparable.
         """
         if not self._ports or horizon_ns <= 0:
             return 0.0
         per_dim = [
-            sum(p.utilization(horizon_ns) for p in ports) / len(ports)
-            for ports in self._ports.values()
+            self._primary[dim].utilization(horizon_ns) for dim in self._ports
         ]
         return sum(per_dim) / len(per_dim)
+
+    def tracers(self) -> List[IntervalTracer]:
+        """Busy-interval tracers, one entry per physical port.
+
+        The primary tracer stands in once per sibling port (their timelines
+        are identical by construction), preserving the exact per-port
+        weighting of the utilization series.  Exposed so composing backends
+        (the hybrid model) can merge this fabric's activity into a combined
+        series.
+        """
+        tracers: List[IntervalTracer] = []
+        for dim, ports in self._ports.items():
+            tracer = self._primary[dim].tracer
+            if tracer is not None:
+                tracers.extend([tracer] * len(ports))
+        return tracers
 
     def utilization_series(self, horizon_ns: float, window_ns: float) -> List[tuple]:
         """Windowed link-utilization series across every port (Fig. 10)."""
         trace = UtilizationTrace(window_ns)
-        tracers: List[IntervalTracer] = [
-            p.tracer for p in self._all_ports() if p.tracer is not None
-        ]
-        return trace.utilization_series(tracers, horizon_ns)
+        return trace.utilization_series(self.tracers(), horizon_ns)
 
     def last_activity(self) -> float:
         """Latest time at which any port was still moving bytes."""
-        latest = 0.0
-        for port in self._all_ports():
-            if port.tracer is not None and port.tracer.intervals:
-                latest = max(latest, port.tracer.intervals[-1].end)
-        return latest
+        return max(
+            (
+                primary.tracer.last_end
+                for primary in self._primary.values()
+                if primary.tracer is not None
+            ),
+            default=0.0,
+        )
+
+    def check_accounting(self, horizon_ns: float) -> None:
+        """Assert every booked port's busy time fits in ``horizon_ns``."""
+        for primary in self._primary.values():
+            primary.check_accounting(horizon_ns)
 
     def reset(self) -> None:
         """Clear every port's reservations and accounting."""
         for port in self._all_ports():
             port.reset()
+        for dim in self._issuing:
+            self._issuing[dim] = 0
+        self.transfers_started = 0
+        self.transfers_coalesced = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         dims = ", ".join(

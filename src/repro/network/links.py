@@ -71,10 +71,46 @@ class Link:
             latency_ns=self.latency_ns,
             trace=self.tracer,
         )
+        # Bind the per-request entry points straight to the pipe: the
+        # detailed backend calls these tens of thousands of times per run
+        # and the delegation frame is measurable.  The class methods below
+        # remain as the documented interface.
+        self.reserve = self._pipe.reserve
+        self.reserve_times = self._pipe.reserve_times
+        self.reserve_batch = self._pipe.reserve_batch
 
     def reserve(self, num_bytes: float, earliest_start: float) -> Reservation:
         """Queue ``num_bytes`` on this link starting no earlier than ``earliest_start``."""
         return self._pipe.reserve(num_bytes, earliest_start)
+
+    def reserve_times(self, num_bytes: float, earliest_start: float):
+        """:meth:`reserve` returning the bare ``(start, finish)`` pair.
+
+        Delegates to
+        :meth:`~repro.sim.resources.BandwidthResource.reserve_times`; the
+        detailed backend's per-message hop loop uses it to skip the
+        :class:`~repro.sim.resources.Reservation` construction.
+        """
+        return self._pipe.reserve_times(num_bytes, earliest_start)
+
+    def reserve_batch(self, num_bytes, earliest_start):
+        """Queue an array of requests FIFO in one call; ``(starts, finishes)``.
+
+        Delegates to
+        :meth:`~repro.sim.resources.BandwidthResource.reserve_batch`; used by
+        the detailed backend to book a step's messages in bulk when the link
+        is uncontended.
+        """
+        return self._pipe.reserve_batch(num_bytes, earliest_start)
+
+    @property
+    def next_free(self) -> float:
+        """Earliest time a new request could start serialising (FIFO tail)."""
+        return self._pipe.next_free
+
+    def check_accounting(self, horizon_ns: float) -> None:
+        """Assert busy time fits in ``horizon_ns`` (no double-booking)."""
+        self._pipe.check_accounting(horizon_ns)
 
     @property
     def busy_time(self) -> float:

@@ -22,7 +22,7 @@ model.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.config.system import NetworkConfig
 from repro.errors import TopologyError
@@ -69,6 +69,10 @@ class DimensionPipe:
         """Average bandwidth driven over ``horizon_ns`` (GB/s)."""
         return self._pipe.achieved_bandwidth_gbps(horizon_ns)
 
+    def check_accounting(self, horizon_ns: float) -> None:
+        """Assert busy time fits in ``horizon_ns`` (no double-booking)."""
+        self._pipe.check_accounting(horizon_ns)
+
     def reset(self) -> None:
         """Clear all reservations and accounting."""
         self._pipe.reset()
@@ -84,11 +88,29 @@ class SymmetricFabric(NetworkBackend):
     (``experiments/backend_validation.py``).
     """
 
-    def __init__(self, topology: Topology, network: NetworkConfig) -> None:
+    def __init__(
+        self,
+        topology: Topology,
+        network: NetworkConfig,
+        dimensions: Optional[Sequence[str]] = None,
+    ) -> None:
         self.topology = topology
         self.network = network
+        active = topology.active_dimensions()
+        if dimensions is None:
+            selected = active
+        else:
+            # The hybrid backend models a subset of the fabric's dimensions
+            # with pipes (the rest get per-link detail); validate the filter.
+            unknown = [d for d in dimensions if d not in active]
+            if unknown:
+                raise TopologyError(
+                    f"dimension(s) {unknown} are not active in fabric "
+                    f"{topology.name!r} (active: {list(active)})"
+                )
+            selected = [d for d in active if d in dimensions]
         self._pipes: Dict[str, DimensionPipe] = {}
-        for dim in topology.active_dimensions():
+        for dim in selected:
             self._pipes[dim] = DimensionPipe(
                 dimension=dim,
                 bandwidth_gbps=network.dimension_bandwidth_gbps(dim),
@@ -171,20 +193,29 @@ class SymmetricFabric(NetworkBackend):
             return 0.0
         return sum(p.utilization(horizon_ns) for p in self._pipes.values()) / len(self._pipes)
 
+    def tracers(self) -> List[IntervalTracer]:
+        """Busy-interval tracers, one per dimension pipe.
+
+        Exposed so composing backends (the hybrid model) can merge this
+        fabric's activity into a combined utilization series.
+        """
+        return [p.tracer for p in self._pipes.values()]
+
     def utilization_series(self, horizon_ns: float, window_ns: float) -> List[tuple]:
         """Windowed link-utilization series across all dimensions (Fig. 10)."""
         trace = UtilizationTrace(window_ns)
-        tracers: Iterable[IntervalTracer] = [p.tracer for p in self._pipes.values()]
-        return trace.utilization_series(tracers, horizon_ns)
+        return trace.utilization_series(self.tracers(), horizon_ns)
 
     def last_activity(self) -> float:
         """Latest time at which any dimension pipe was still busy."""
-        latest = 0.0
+        return max(
+            (pipe.tracer.last_end for pipe in self._pipes.values()), default=0.0
+        )
+
+    def check_accounting(self, horizon_ns: float) -> None:
+        """Assert every pipe's busy time fits in ``horizon_ns``."""
         for pipe in self._pipes.values():
-            span = pipe.tracer.intervals
-            if span:
-                latest = max(latest, span[-1].end)
-        return latest
+            pipe.check_accounting(horizon_ns)
 
     def reset(self) -> None:
         """Clear every dimension pipe's reservations and accounting."""

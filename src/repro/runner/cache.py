@@ -130,16 +130,46 @@ class ResultCache:
     # ------------------------------------------------------------------
     @property
     def stats(self) -> Dict[str, int]:
+        """Hit/miss counters plus entry counts for both backends.
+
+        ``entries`` matches ``len(self)``; ``disk_entries`` and
+        ``memory_entries`` break it down per backend (``disk_entries`` is 0
+        for a memory-only cache).
+        """
+        disk = self._disk_entry_count()
         return {
             "hits": self.hits,
             "misses": self.misses,
             "corrupted": self.corrupted,
             "entries": len(self),
+            "disk_entries": disk,
+            "memory_entries": len(self._memory),
         }
 
+    def _disk_entry_count(self) -> int:
+        """Number of on-disk files that are actually cache entries.
+
+        Counts only ``<sha256>.json`` files: a cache directory that (against
+        advice) also holds other JSON artifacts must not have them reported
+        as entries.
+        """
+        if self.directory is None:
+            return 0
+        return sum(
+            1 for path in self.directory.glob("*.json") if _is_entry_name(path.stem)
+        )
+
     def __len__(self) -> int:
+        """Number of distinct cached entries.
+
+        For a disk-backed cache this is the on-disk entry count — disk is
+        the source of truth, and every memory entry was either loaded from
+        or written through to disk — counting only files that follow the
+        ``<sha256>.json`` naming scheme.  Memory-only caches count their
+        in-process entries.
+        """
         if self.directory is not None:
-            return len(list(self.directory.glob("*.json")))
+            return self._disk_entry_count()
         return len(self._memory)
 
     def prune(self) -> int:
@@ -180,10 +210,17 @@ class ResultCache:
         return removed
 
     def clear(self) -> None:
-        """Drop every entry (and reset nothing else — counters persist)."""
+        """Drop every entry (and reset nothing else — counters persist).
+
+        Like :meth:`prune`, only files following the cache's
+        ``<sha256>.json`` naming scheme are unlinked: foreign JSON artifacts
+        living in the cache directory survive a ``clear()``.
+        """
         self._memory.clear()
         if self.directory is not None:
             for path in self.directory.glob("*.json"):
+                if not _is_entry_name(path.stem):
+                    continue
                 try:
                     path.unlink()
                 except OSError:

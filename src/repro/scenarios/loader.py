@@ -283,12 +283,13 @@ def _compile_cross_topology(spec: Mapping[str, object]) -> List[SimJob]:
 
 
 def _resolve_backend_validation(suite: Suite) -> "CompiledFigure":
-    """A delegating suite over the symmetric-vs-detailed validation harness.
+    """A delegating suite over the backend-pair validation harness.
 
-    The harness pairs every cell across both backends and reports one
-    *comparison* row per cell (``time_rel_err``, ``exposed_delta_frac``), so
-    a manifest can assert the paper-style model-validation bound with a
-    plain ``bound`` invariant.
+    The harness pairs every cell across the two validated backends
+    (default symmetric vs detailed; the ``backends`` field selects another
+    pair, e.g. detailed vs hybrid) and reports one *comparison* row per cell
+    (``time_rel_err``, ``exposed_delta_frac``), so a manifest can assert the
+    paper-style model-validation bound with a plain ``bound`` invariant.
     """
     from repro.experiments.backend_validation import run_backend_validation
 
@@ -301,10 +302,13 @@ def _resolve_backend_validation(suite: Suite) -> "CompiledFigure":
         options["drive_cells"] = [tuple(cell) for cell in suite.spec["drive_cells"]]
     if "iterations" in suite.spec:
         options["iterations"] = int(suite.spec["iterations"])
+    if "backends" in suite.spec:
+        options["backends"] = tuple(str(name) for name in suite.spec["backends"])
+    pair = options.get("backends", ("symmetric", "detailed"))
     runner = FigureRunner(
         "backend_validation",
         run_backend_validation,
-        "symmetric vs detailed backend agreement",
+        f"{pair[0]} vs {pair[1]} backend agreement",
     )
     return CompiledFigure(figure=runner, options=options)
 

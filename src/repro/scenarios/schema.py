@@ -215,7 +215,10 @@ _SUITE_FIELDS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
         ("payload_bytes", "fabrics"),
     ),
     "cross_topology": (("op", "sizes", "systems", "payload_bytes", "chunk_bytes"), ()),
-    "backend_validation": (("system", "training_cells", "drive_cells", "iterations"), ()),
+    "backend_validation": (
+        ("system", "training_cells", "drive_cells", "iterations", "backends"),
+        (),
+    ),
     "area_power": (("ace",), ()),
     "figure": (("figure", "fast", "options"), ("figure",)),
 }
@@ -314,6 +317,22 @@ class Suite:
                         )
             if "iterations" in spec:
                 _int_field(spec, "iterations", context)
+            if "backends" in spec:
+                # The validated pair, e.g. ["symmetric", "detailed"] (the
+                # default) or ["detailed", "hybrid"]; name resolution against
+                # the registry happens at compile time.
+                pair = spec["backends"]
+                ok = (
+                    isinstance(pair, Sequence)
+                    and not isinstance(pair, str)
+                    and len(pair) == 2
+                    and all(isinstance(name, str) for name in pair)
+                )
+                if not ok:
+                    raise ScenarioError(
+                        f"{context}: field 'backends' must be a pair of "
+                        f"backend names, got {pair!r}"
+                    )
         elif kind == "area_power":
             _overrides_field(spec, "ace", context)
         elif kind == "figure":

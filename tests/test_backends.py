@@ -17,7 +17,9 @@ from repro.experiments.backend_validation import (
 from repro.network import (
     DEFAULT_AUTO_NPU_THRESHOLD,
     MAX_DETAILED_NPUS,
+    MAX_HYBRID_NPUS,
     DetailedBackend,
+    HybridBackend,
     NetworkBackend,
     SymmetricFabric,
     backend_names,
@@ -56,15 +58,24 @@ class TestBackendRegistry:
         with pytest.raises(ConfigurationError, match="unknown network backend"):
             make_network_backend("garnet", torus_422, NetworkConfig())
 
-    def test_auto_picks_detailed_for_small_symmetric_for_large(self):
+    def test_auto_ladder_detailed_hybrid_symmetric(self):
         small = topology_from_spec("torus:4x2x2")
-        large = topology_from_spec("torus:4x4x4")
-        assert small.num_nodes <= DEFAULT_AUTO_NPU_THRESHOLD
+        at_threshold = topology_from_spec("torus:4x4x4")
+        mid = topology_from_spec("torus:8x4x4")
+        large = topology_from_spec("torus:8x16x8")
+        huge = topology_from_spec("torus:16x16x16")
+        assert at_threshold.num_nodes == DEFAULT_AUTO_NPU_THRESHOLD
+        assert large.num_nodes <= MAX_HYBRID_NPUS < huge.num_nodes
         assert resolve_backend_name("auto", small) == "detailed"
-        assert resolve_backend_name("auto", large) == "symmetric"
+        assert resolve_backend_name("auto", at_threshold) == "detailed"
+        assert resolve_backend_name("auto", mid) == "hybrid"
+        assert resolve_backend_name("auto", large) == "hybrid"
+        assert resolve_backend_name("auto", huge) == "symmetric"
 
     def test_auto_threshold_is_configurable(self, torus_422):
-        assert resolve_backend_name("auto", torus_422, auto_threshold=8) == "symmetric"
+        # Above the detailed threshold (but under the hybrid cap) "auto"
+        # lands on the hybrid rung.
+        assert resolve_backend_name("auto", torus_422, auto_threshold=8) == "hybrid"
         with pytest.raises(ConfigurationError, match="threshold must be positive"):
             resolve_backend_name("auto", torus_422, auto_threshold=0)
 
@@ -171,7 +182,7 @@ class TestBackendKnob:
             network_backend_auto_threshold=8
         )
         executor = CollectiveExecutor(Simulator(), system, topology)
-        assert isinstance(executor.fabric, SymmetricFabric)
+        assert isinstance(executor.fabric, HybridBackend)
 
     def test_simjob_backend_round_trip_and_conflict(self):
         job = SimJob(workload="resnet50", num_npus=16, backend="detailed")
