@@ -10,6 +10,9 @@ Subcommands:
   through the shared :func:`~repro.runner.default_runner` (honouring
   ``REPRO_WORKERS`` / ``REPRO_CACHE_DIR``), check the declared invariants,
   and write the uniform machine-readable report.
+* ``expand <scenario>`` — compile a manifest (``sweep:`` blocks included) and
+  print every expanded job spec without running anything; the dry-run view
+  of server-side grid templating.
 * ``figures [figN|all]`` — regenerate the paper's figure/table harnesses.
 * ``bench`` — the backend-throughput benchmark behind ``BENCH_backends.json``
   (pruning stale result-cache entries first).
@@ -96,6 +99,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report invariant failures without failing the run",
     )
     p_run.add_argument("--json", action="store_true", help="print the report JSON to stdout")
+
+    p_expand = sub.add_parser(
+        "expand",
+        help="print a scenario's expanded job specs without running them",
+    )
+    add_dir(p_expand)
+    p_expand.add_argument("name", help="scenario name (see 'repro list')")
+    p_expand.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
     p_figures = sub.add_parser("figures", help="regenerate paper figures/tables")
     p_figures.add_argument(
@@ -252,6 +263,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_expand(args: argparse.Namespace) -> int:
+    scenario = find_scenario(args.name, args.directory)
+    compiled = compile_scenario(scenario)
+    if args.json:
+        payload = [
+            {
+                "suite": index,
+                "kind": suite.suite.kind,
+                "jobs": [job.to_dict() for job in suite.jobs],
+            }
+            for index, suite in enumerate(compiled)
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    total = 0
+    for index, suite in enumerate(compiled):
+        print(f"suite {index} ({suite.suite.kind}): {len(suite.jobs)} job(s)")
+        for job in suite.jobs:
+            total += 1
+            print(f"  {job.spec_hash()[:12]}  {job.to_json()}")
+    print(f"\n{total} job(s) from {len(compiled)} suite(s)")
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     names = list(args.names) or ["all"]
     if "all" in names:
@@ -314,6 +349,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "validate": _cmd_validate,
     "run": _cmd_run,
+    "expand": _cmd_expand,
     "figures": _cmd_figures,
     "bench": _cmd_bench,
 }

@@ -27,6 +27,7 @@ direct              all_to_all                               Torus3D / Torus2D, 
 ring                all_reduce, reduce_scatter, all_gather   any (flat ring over the fabric)
 tree                all_reduce                               switch, fc
 halving_doubling    all_reduce                               switch, fc (power-of-two sizes)
+p2p                 send                                     any (single hop, fastest dimension)
 ==================  =======================================  =====================================
 
 Plans are cached per (operation, algorithm, topology cache key, network)
@@ -41,7 +42,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.collectives.alltoall import direct_all_to_all_plan, single_hop_all_to_all_plan
-from repro.collectives.base import CollectiveOp, CollectivePlan
+from repro.collectives.base import CollectiveOp, CollectivePlan, PhaseSpec
 from repro.collectives.halving_doubling import halving_doubling_plan
 from repro.collectives.hierarchical import (
     hierarchical_all_gather_plan,
@@ -297,6 +298,45 @@ def _build_halving_doubling(
     """Recursive halving-doubling on power-of-two single-hop fabrics."""
     dimension = topology.active_dimensions()[0]
     return halving_doubling_plan(dimension, topology.num_nodes, topology.name)
+
+
+def _p2p_supports(op: CollectiveOp, topology: Topology) -> Optional[str]:
+    # A neighbour-to-neighbour send embeds in every fabric.
+    return None
+
+
+@register_algorithm("p2p", (CollectiveOp.SEND,), _p2p_supports)
+def _build_p2p(
+    op: CollectiveOp, topology: Topology, network: NetworkConfig
+) -> CollectivePlan:
+    """Point-to-point send for pipeline-stage activation traffic.
+
+    One single-step phase injecting the whole payload on the fastest active
+    dimension (pipeline neighbours are placed on the fastest links), so
+    sends flow through the same chunking / admission / endpoint / fabric
+    machinery as real collectives.
+    """
+    dims = topology.active_dimensions()
+    if dims:
+        dimension = max(dims, key=network.dimension_bandwidth_gbps)
+    else:
+        dimension = "local"
+    phase = PhaseSpec(
+        dimension=dimension,
+        kind="send",
+        ring_size=2,
+        steps=1,
+        bytes_sent_fraction=1.0,
+        reduced_bytes_fraction=0.0,
+        resident_fraction_in=1.0,
+        resident_fraction_out=1.0,
+    )
+    return CollectivePlan(
+        op=CollectiveOp.SEND,
+        topology_name=topology.name,
+        num_nodes=topology.num_nodes,
+        phases=(phase,),
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.units import KB, MB, cycles_to_ns
@@ -335,6 +335,13 @@ class SystemConfig:
     #: degradations from exactly this contention); for ACE it is the small
     #: NPU-to-AFI command interface cost; the ideal system pays nothing.
     collective_launch_overhead_ns: float = 0.0
+    #: Parallelisation strategy override for training runs on this platform:
+    #: ``None`` (each workload's native strategy, the default), or a spec
+    #: string — "data" | "model" | "hybrid" | "zero" | "pipeline" |
+    #: "pipeline:<stages>x<microbatches>".  The training loop's
+    #: ``parallelism=`` argument (and SimJob's field of the same name)
+    #: overrides this, mirroring ``network_backend`` / ``backend``.
+    parallelism: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.collective_scheduling not in ("lifo", "fifo"):
@@ -370,6 +377,12 @@ class SystemConfig:
             )
         if self.collective_launch_overhead_ns < 0:
             raise ConfigurationError("collective_launch_overhead_ns must be non-negative")
+        if self.parallelism is not None:
+            # Imported lazily: training.parallelism (via workloads.base)
+            # imports this module.
+            from repro.training.parallelism import parse_parallelism
+
+            parse_parallelism(self.parallelism)
 
     # ------------------------------------------------------------------
     # Derived resource views (what the training computation gets to use)

@@ -62,6 +62,7 @@ def grid_jobs(
     algorithm: str = "auto",
     backend: Optional[str] = None,
     chunk_bytes: Optional[int] = None,
+    parallelism: Optional[str] = None,
 ) -> List[SimJob]:
     """Job specs for every (system, workload, size) grid cell, in grid order.
 
@@ -75,7 +76,10 @@ def grid_jobs(
     the preset's symmetric model).  ``chunk_bytes`` pins one collective chunk
     size for every cell, overriding the per-workload fast/paper default —
     heavyweight off-paper workloads (megatron) need coarser chunks than the
-    paper trio to keep the event count tractable.
+    paper trio to keep the event count tractable.  ``parallelism`` overrides
+    every cell's parallelisation strategy (``"data" | "model" | "hybrid" |
+    "zero" | "pipeline" | "pipeline:<stages>x<microbatches>"``; default: each
+    workload's native strategy).
     """
     if fabric is not None and len(set(sizes)) > 1:
         raise ConfigurationError(
@@ -99,6 +103,7 @@ def grid_jobs(
                         iterations=iterations,
                         chunk_bytes=chunk,
                         overlap_embedding=overlap_embedding,
+                        parallelism=parallelism,
                     )
                 )
     return jobs
@@ -115,6 +120,7 @@ def run_grid(
     algorithm: str = "auto",
     backend: Optional[str] = None,
     chunk_bytes: Optional[int] = None,
+    parallelism: Optional[str] = None,
     runner: Optional[SweepRunner] = None,
 ) -> List[TrainingResult]:
     """Simulate every (system, workload, size) combination and return results."""
@@ -131,6 +137,7 @@ def run_grid(
             algorithm=algorithm,
             backend=backend,
             chunk_bytes=chunk_bytes,
+            parallelism=parallelism,
         )
     )
 

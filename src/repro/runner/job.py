@@ -49,6 +49,7 @@ _CONFIG_SCALARS = (
     "collective_algorithm",
     "network_backend",
     "network_backend_auto_threshold",
+    "parallelism",
 )
 
 
@@ -139,6 +140,12 @@ class SimJob:
     workload: Optional[str] = None
     iterations: int = 2
     overlap_embedding: bool = False
+    #: Parallelisation strategy spec ("data" | "model" | "hybrid" | "zero" |
+    #: "pipeline" | "pipeline:<stages>x<microbatches>").  Shorthand for the
+    #: ``parallelism`` config override; ``None`` keeps the workload's native
+    #: strategy and — for spec-hash compatibility with pre-1.4.0 job specs —
+    #: is omitted from the canonical JSON entirely.
+    parallelism: Optional[str] = None
     # -- network-drive jobs ----------------------------------------------
     payload_bytes: Optional[int] = None
     op: str = CollectiveOp.ALL_REDUCE.value
@@ -181,6 +188,25 @@ class SimJob:
                     f"vs overrides['network_backend']={override_backend!r}; "
                     f"set only one"
                 )
+        if self.parallelism is not None:
+            if self.kind != "training":
+                raise ConfigurationError(
+                    f"parallelism only applies to training jobs, not {self.kind!r}"
+                )
+            # Imported lazily to keep the module import graph acyclic.
+            from repro.training.parallelism import parse_parallelism
+
+            parse_parallelism(self.parallelism)
+            override_parallelism = self.overrides.get("parallelism")
+            if (
+                override_parallelism is not None
+                and override_parallelism != self.parallelism
+            ):
+                raise ConfigurationError(
+                    f"conflicting parallelism specs: parallelism="
+                    f"{self.parallelism!r} vs overrides['parallelism']="
+                    f"{override_parallelism!r}; set only one"
+                )
         if self.fabric is not None:
             # Validate eagerly so a bad spec fails at submission, not in a worker.
             topology_from_spec(self.fabric)
@@ -215,10 +241,10 @@ class SimJob:
         """Plain-JSON dictionary of the spec (stable schema).
 
         Every pre-1.2.0 field is always present.  ``backend`` (added in
-        1.2.0) is emitted only when set: a job that does not use the knob
-        canonicalises to exactly the 1.1.0 JSON, so its spec hash — and
-        therefore its cache key under any fixed ``version`` salt — is
-        unchanged by the upgrade.
+        1.2.0) and ``parallelism`` (added in 1.4.0) are emitted only when
+        set: a job that does not use the knobs canonicalises to exactly the
+        1.1.0 JSON, so its spec hash — and therefore its cache key under any
+        fixed ``version`` salt — is unchanged by the upgrades.
         """
         data: Dict[str, object] = {
             "kind": self.kind,
@@ -238,6 +264,8 @@ class SimJob:
         }
         if self.backend is not None:
             data["backend"] = self.backend
+        if self.parallelism is not None:
+            data["parallelism"] = self.parallelism
         return data
 
     def to_json(self) -> str:
@@ -312,6 +340,10 @@ class SimJob:
         # override wins when the shorthand is left unset.
         if self.backend is not None:
             changes["network_backend"] = self.backend
+        # The job-level parallelism shorthand; an explicit parallelism
+        # override wins when the shorthand is left unset.
+        if self.parallelism is not None:
+            changes["parallelism"] = self.parallelism
         return system.with_overrides(**changes) if changes else system
 
     def build_topology(self) -> Topology:
@@ -343,6 +375,7 @@ class SimJob:
                 iterations=self.iterations,
                 chunk_bytes=self.chunk_bytes,
                 overlap_embedding=self.overlap_embedding,
+                parallelism=self.parallelism,
             )
         if self.kind == "network_drive":
             return measure_network_drive(
@@ -391,6 +424,7 @@ def training_job(
     iterations: int = 2,
     chunk_bytes: Optional[int] = None,
     overlap_embedding: bool = False,
+    parallelism: Optional[str] = None,
     overrides: Optional[Mapping[str, object]] = None,
 ) -> SimJob:
     """A training-loop simulation job (Figs. 9b-12)."""
@@ -406,6 +440,7 @@ def training_job(
         iterations=iterations,
         chunk_bytes=chunk_bytes,
         overlap_embedding=overlap_embedding,
+        parallelism=parallelism,
         overrides=overrides or {},
     )
 

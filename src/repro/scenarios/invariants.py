@@ -70,7 +70,9 @@ def _check_ordering(invariant: Invariant, rows) -> Tuple[bool, str]:
         groups.setdefault(key, {})[str(row[invariant.by])] = float(row[invariant.metric])
     failures: List[str] = []
     comparisons = 0
-    for key, values in sorted(groups.items()):
+    # Group keys may mix str and None (e.g. a null parallelism slice), so
+    # sort on the repr rather than the raw values.
+    for key, values in sorted(groups.items(), key=lambda item: repr(item[0])):
         present = [(name, values[name]) for name in invariant.order if name in values]
         for (left, left_value), (right, right_value) in zip(present, present[1:]):
             comparisons += 1

@@ -223,11 +223,35 @@ def _check_workloads(values: Sequence[str]) -> None:
     _check_names(values, available_workloads(), "workload")
 
 
+def _check_pipeline_compat(workloads: Sequence[str], parallelism: Optional[str]) -> None:
+    """Reject pipeline parallelism over embedding workloads at compile time.
+
+    The training loop raises the same complaint, but from a worker process;
+    manifests should fail at validation with the offending cell named.
+    """
+    if parallelism is None or not str(parallelism).startswith("pipeline"):
+        return
+    from repro.errors import ConfigurationError
+    from repro.workloads.registry import build_workload
+
+    for name in workloads:
+        if build_workload(name).embedding is not None:
+            raise ConfigurationError(
+                f"pipeline parallelism ({parallelism!r}) cannot be applied to "
+                f"workload {name!r}: its model-parallel embedding stage has "
+                f"no pipeline-stage placement"
+            )
+
+
 def _compile_training_grid(spec: Mapping[str, object]) -> List[SimJob]:
     from repro.experiments.common import PAPER_SYSTEMS, grid_jobs
 
     _check_systems(tuple(spec.get("systems", PAPER_SYSTEMS)))
     _check_workloads(tuple(spec.get("workloads", ())))
+    _check_pipeline_compat(
+        tuple(spec.get("workloads", ("resnet50", "gnmt", "dlrm"))),
+        spec.get("parallelism"),
+    )
     return grid_jobs(
         systems=tuple(spec.get("systems", PAPER_SYSTEMS)),
         workloads=tuple(spec.get("workloads", ("resnet50", "gnmt", "dlrm"))),
@@ -239,7 +263,53 @@ def _compile_training_grid(spec: Mapping[str, object]) -> List[SimJob]:
         algorithm=str(spec.get("algorithm", "auto")),
         backend=spec.get("backend"),
         chunk_bytes=spec.get("chunk_bytes"),
+        parallelism=spec.get("parallelism"),
     )
+
+
+def _compile_sweep(spec: Mapping[str, object]) -> List[SimJob]:
+    """Server-side grid templating: one ``grid_jobs`` batch per outer-axis cell.
+
+    The outer axes (fabric x backend x algorithm x parallelism) wrap the
+    inner (workload x size x system) grid, and every combination routes
+    through :func:`repro.experiments.common.grid_jobs` — so the expansion is
+    byte-identical to hand-enumerating one ``training_grid`` suite per
+    combination, and identical specs hit identical cache keys.
+    """
+    from repro.experiments.common import PAPER_SYSTEMS, grid_jobs
+
+    systems = tuple(spec.get("systems", PAPER_SYSTEMS))
+    _check_systems(systems)
+    workloads = tuple(spec.get("workloads", ("resnet50", "gnmt", "dlrm")))
+    _check_workloads(workloads)
+    sizes = tuple(spec.get("sizes", (16,)))
+    fabrics = tuple(spec.get("fabrics", (None,))) or (None,)
+    backends = tuple(spec.get("backends", (None,))) or (None,)
+    algorithms = tuple(spec.get("algorithms", ("auto",))) or ("auto",)
+    parallelisms = tuple(spec.get("parallelisms", (None,))) or (None,)
+    for parallelism in parallelisms:
+        _check_pipeline_compat(workloads, parallelism)
+    jobs: List[SimJob] = []
+    for fabric in fabrics:
+        for backend in backends:
+            for algorithm in algorithms:
+                for parallelism in parallelisms:
+                    jobs.extend(
+                        grid_jobs(
+                            systems=systems,
+                            workloads=workloads,
+                            sizes=sizes,
+                            iterations=int(spec.get("iterations", 2)),
+                            fast=bool(spec.get("fast", True)),
+                            overlap_embedding=bool(spec.get("overlap_embedding", False)),
+                            fabric=fabric,
+                            algorithm=str(algorithm),
+                            backend=backend,
+                            chunk_bytes=spec.get("chunk_bytes"),
+                            parallelism=parallelism,
+                        )
+                    )
+    return jobs
 
 
 def _compile_network_drive(spec: Mapping[str, object]) -> List[SimJob]:
@@ -333,6 +403,7 @@ def _compile_area_power(spec: Mapping[str, object]) -> List[SimJob]:
 
 _COMPILERS: Dict[str, Callable[[Mapping[str, object]], List[SimJob]]] = {
     "training_grid": _compile_training_grid,
+    "sweep": _compile_sweep,
     "network_drive": _compile_network_drive,
     "cross_topology": _compile_cross_topology,
     "area_power": _compile_area_power,

@@ -41,8 +41,13 @@ ROW_COMMON_KEYS = ("spec_hash", "wall_s", "from_cache", "kind")
 
 
 def training_row(job: SimJob, result: TrainingResult) -> Dict[str, object]:
-    """Unrounded report row for one training job."""
-    return {
+    """Unrounded report row for one training job.
+
+    ``parallelism`` mirrors the job's spec field (``None`` = the workload's
+    native strategy) so sweep invariants can pin a per-slice ``where`` filter
+    on it; pipeline jobs additionally expose their bubble metrics.
+    """
+    row = {
         "kind": "training",
         "system": result.system_name,
         "workload": result.workload_name,
@@ -51,12 +56,18 @@ def training_row(job: SimJob, result: TrainingResult) -> Dict[str, object]:
         "fabric": job.fabric,
         "algorithm": job.algorithm,
         "backend": job.backend,
+        "parallelism": job.parallelism,
         "iteration_time_us": result.iteration_time_us,
         "total_time_us": result.total_time_us,
         "total_compute_us": result.total_compute_us,
         "exposed_comm_us": result.exposed_comm_us,
         "achieved_net_bw_gbps": result.achieved_network_bandwidth_gbps,
     }
+    if "bubble_fraction" in result.extra:
+        row["bubble_fraction"] = result.extra["bubble_fraction"]
+        row["pipeline_stages"] = result.extra.get("pipeline_stages")
+        row["pipeline_microbatches"] = result.extra.get("pipeline_microbatches")
+    return row
 
 
 def network_drive_row(job: SimJob, result: NetworkDriveResult) -> Dict[str, object]:

@@ -49,6 +49,7 @@ SCHEMA_VERSION = 1
 #: Suite kinds a manifest may declare.
 SUITE_KINDS = (
     "training_grid",
+    "sweep",
     "network_drive",
     "cross_topology",
     "backend_validation",
@@ -174,6 +175,23 @@ def _int_tuple_field(
     return tuple(value)
 
 
+def _opt_str_list_field(data: Mapping[str, object], name: str, context: str) -> None:
+    """Validate a list whose entries are strings or ``null`` (axis lists)."""
+    if name not in data:
+        return
+    value = data[name]
+    if not isinstance(value, Sequence) or isinstance(value, str):
+        raise ScenarioError(
+            f"{context}: field {name!r} must be a list of strings or nulls, "
+            f"got {_type_name(value)}"
+        )
+    for item in value:
+        if item is not None and not isinstance(item, str):
+            raise ScenarioError(
+                f"{context}: field {name!r} entries must be strings or null, got {item!r}"
+            )
+
+
 def _overrides_field(data: Mapping[str, object], name: str, context: str) -> Dict[str, object]:
     value = data.get(name, {})
     mapping = _expect_mapping(value, f"{context}: field {name!r}")
@@ -197,6 +215,30 @@ _SUITE_FIELDS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
             "fabric",
             "algorithm",
             "backend",
+            "chunk_bytes",
+            "parallelism",
+        ),
+        (),
+    ),
+    # Server-side grid templating: the product of every axis list expands into
+    # one ``training_grid`` batch per (fabric, backend, algorithm,
+    # parallelism) combination, compiled through the same
+    # :func:`repro.experiments.common.grid_jobs` path so expanded specs are
+    # byte-identical to hand-enumerated equivalents.  Axis entries of ``null``
+    # mean "the default" (canonical torus / preset backend / native
+    # parallelism).
+    "sweep": (
+        (
+            "systems",
+            "workloads",
+            "sizes",
+            "fabrics",
+            "backends",
+            "algorithms",
+            "parallelisms",
+            "iterations",
+            "fast",
+            "overlap_embedding",
             "chunk_bytes",
         ),
         (),
@@ -270,6 +312,20 @@ class Suite:
             if "algorithm" in spec:
                 _str_field(spec, "algorithm", context)
             _opt_str_field(spec, "backend", context)
+            _opt_int_field(spec, "chunk_bytes", context)
+            _opt_str_field(spec, "parallelism", context)
+        elif kind == "sweep":
+            _str_tuple_field(spec, "systems", context)
+            _str_tuple_field(spec, "workloads", context)
+            _int_tuple_field(spec, "sizes", context)
+            _opt_str_list_field(spec, "fabrics", context)
+            _opt_str_list_field(spec, "backends", context)
+            _str_tuple_field(spec, "algorithms", context)
+            _opt_str_list_field(spec, "parallelisms", context)
+            if "iterations" in spec:
+                _int_field(spec, "iterations", context)
+            _bool_field(spec, "fast", context, True)
+            _bool_field(spec, "overlap_embedding", context, False)
             _opt_int_field(spec, "chunk_bytes", context)
         elif kind == "network_drive":
             _str_tuple_field(spec, "systems", context)

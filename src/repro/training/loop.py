@@ -30,12 +30,18 @@ from repro.collectives.base import CollectiveOp
 from repro.compute.npu import NpuComputeEngine
 from repro.config.presets import torus_shape_for_npus
 from repro.config.system import EndpointKind, SystemConfig
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.network.backend import accounting_checks_enabled
 from repro.network.topology import Topology, torus_from_shape
 from repro.sim.engine import Simulator
 from repro.sim.process import Process
 from repro.training.comm import CollectiveExecutor, CollectiveHandle
+from repro.training.parallelism import (
+    ParallelismSpec,
+    parse_parallelism,
+    pipeline_bubble_fraction,
+    pipeline_stages,
+)
 from repro.training.results import IterationBreakdown, TrainingResult
 from repro.workloads.base import Workload
 
@@ -53,6 +59,7 @@ class TrainingLoop:
         overlap_embedding: bool = False,
         utilization_window_ns: float = 50_000.0,
         backend: Optional[str] = None,
+        parallelism: Optional[str] = None,
     ) -> None:
         if iterations <= 0:
             raise SimulationError("iterations must be positive")
@@ -62,6 +69,17 @@ class TrainingLoop:
         self.iterations = iterations
         self.overlap_embedding = overlap_embedding
         self.utilization_window_ns = utilization_window_ns
+        # ``parallelism`` overrides ``system.parallelism``, which overrides
+        # the workload's native strategy (same precedence as ``backend``).
+        requested = parallelism or system.parallelism or workload.parallelism
+        self.parallelism: ParallelismSpec = parse_parallelism(requested)
+        if self.parallelism.strategy == "pipeline" and workload.embedding is not None:
+            raise ConfigurationError(
+                f"pipeline parallelism cannot be applied to workload "
+                f"{workload.name!r}: its model-parallel embedding stage "
+                f"(all-to-all exchange) has no pipeline-stage placement; use "
+                f"'data', 'zero' or 'hybrid' instead"
+            )
 
         self.sim = Simulator()
         self.compute = NpuComputeEngine(system, time_scale=workload.compute_time_scale)
@@ -75,13 +93,21 @@ class TrainingLoop:
         self._breakdowns: List[IterationBreakdown] = []
         self._pending_fwd_alltoall: Optional[CollectiveHandle] = None
         self._finished_at: Optional[float] = None
+        #: Strategy-specific metrics merged into ``TrainingResult.extra``.
+        #: Stays empty for the paper's original strategies so their encoded
+        #: results (and golden values) are byte-identical.
+        self._extra_metrics: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def run(self) -> TrainingResult:
         """Simulate the configured number of iterations and return the result."""
-        process = Process(self.sim, self._program(), name="training-loop")
+        if self.parallelism.strategy == "pipeline":
+            program = self._pipeline_program()
+        else:
+            program = self._program()
+        process = Process(self.sim, program, name="training-loop")
         process.done.on_fire(self.sim, self._on_finished)
         self.sim.run()
         if self._finished_at is None:
@@ -97,6 +123,13 @@ class TrainingLoop:
     def _program(self) -> Generator:
         workload = self.workload
         no_overlap = self.system.endpoint is EndpointKind.BASELINE_NO_OVERLAP
+        strategy = self.parallelism.strategy
+        # ZeRO swaps the weight-gradient all-reduce for a reduce-scatter plus
+        # a parameter all-gather gating each layer's forward pass; pure
+        # tensor ("model") parallelism has no weight-gradient collectives.
+        zero = strategy == "zero"
+        shard_weights = strategy == "model"
+        total_params = sum(l.params_bytes for l in workload.layers)
         weight_handles: Dict[int, CollectiveHandle] = {}
 
         for iteration in range(self.iterations):
@@ -104,6 +137,17 @@ class TrainingLoop:
             compute_at_start = self.compute.total_compute_ns
             exposed_at_start = self._exposed_comm_ns
             self._breakdowns.append(breakdown)
+
+            if zero and no_overlap and total_params > 0:
+                # BaselineNoOverlap gathers every sharded parameter in one
+                # blocking all-gather before the forward pass starts (the
+                # analogue of its batched end-of-backward all-reduce).
+                gather = self.executor.issue(
+                    CollectiveOp.ALL_GATHER,
+                    total_params,
+                    name=f"iter{iteration}.batched-param-ag",
+                )
+                yield from self._wait_comm(gather)
 
             # ---------------- forward pass ----------------
             fwd_alltoall = None
@@ -127,6 +171,16 @@ class TrainingLoop:
                 handle = weight_handles.get(index)
                 if handle is not None:
                     yield from self._wait_comm(handle)
+                if zero and not no_overlap and layer.params_bytes > 0:
+                    # The layer's parameters are sharded; gather them before
+                    # its forward compute (after the previous iteration's
+                    # reduce-scatter of the same shard has completed).
+                    gather = self.executor.issue(
+                        CollectiveOp.ALL_GATHER,
+                        layer.params_bytes,
+                        name=f"iter{iteration}.{layer.name}.param-ag",
+                    )
+                    yield from self._wait_comm(gather)
                 if (
                     embedding is not None
                     and fwd_alltoall is not None
@@ -157,14 +211,16 @@ class TrainingLoop:
                         name=f"iter{iteration}.{layer.name}.bwd-ar",
                     )
                     yield from self._wait_comm(blocking)
-                if layer.params_bytes > 0:
+                if layer.params_bytes > 0 and not shard_weights:
                     if no_overlap:
                         batched_payload += layer.params_bytes
                     else:
+                        op = CollectiveOp.REDUCE_SCATTER if zero else layer.comm_op
+                        suffix = "wgrad-rs" if zero else "wgrad-ar"
                         weight_handles[index] = self.executor.issue(
-                            layer.comm_op,
+                            op,
                             layer.params_bytes,
-                            name=f"iter{iteration}.{layer.name}.wgrad-ar",
+                            name=f"iter{iteration}.{layer.name}.{suffix}",
                         )
 
             if embedding is not None:
@@ -187,16 +243,114 @@ class TrainingLoop:
                     )
 
             if no_overlap and batched_payload > 0:
+                op = CollectiveOp.REDUCE_SCATTER if zero else CollectiveOp.ALL_REDUCE
+                suffix = "batched-wgrad-rs" if zero else "batched-wgrad-ar"
                 batched = self.executor.issue(
-                    CollectiveOp.ALL_REDUCE,
+                    op,
                     batched_payload,
-                    name=f"iter{iteration}.batched-wgrad-ar",
+                    name=f"iter{iteration}.{suffix}",
                 )
                 yield from self._wait_comm(batched)
 
             breakdown.end_ns = self.sim.now
             breakdown.compute_ns = self.compute.total_compute_ns - compute_at_start
             breakdown.exposed_comm_ns = self._exposed_comm_ns - exposed_at_start
+
+    def _pipeline_program(self) -> Generator:
+        """1F1B pipeline schedule, simulated from the bottleneck stage.
+
+        The layer list is split into contiguous flops-balanced stages and the
+        slowest stage is simulated in full: its ``M`` microbatch slots each
+        run the stage's scaled forward (or backward) kernels plus the
+        point-to-point activation transfer to the neighbouring stage.  The
+        1F1B fill/drain bubble is then charged explicitly as
+        ``(stages - 1) x slot_time`` of idle per iteration, so the iteration
+        decomposes as ``(M + S - 1)`` slots and the bubble fraction equals
+        the closed form ``(S - 1) / (M + S - 1)`` by construction.
+        """
+        workload = self.workload
+        spec = self.parallelism
+        stages = pipeline_stages(workload.layers, spec.stages)
+        micro = spec.microbatches
+        bottleneck = max(range(len(stages)), key=lambda i: self._stage_time(stages[i]))
+        stage_layers = stages[bottleneck]
+        has_upstream = bottleneck > 0
+        has_downstream = bottleneck < len(stages) - 1
+        send_bytes = self._activation_send_bytes(micro)
+        scale = 1.0 / micro
+        total_bubble = 0.0
+
+        for iteration in range(self.iterations):
+            breakdown = IterationBreakdown(index=iteration, forward_start_ns=self.sim.now)
+            compute_at_start = self.compute.total_compute_ns
+            exposed_at_start = self._exposed_comm_ns
+            self._breakdowns.append(breakdown)
+            iter_start = self.sim.now
+
+            for m in range(micro):
+                for layer in stage_layers:
+                    yield from self._run_compute(layer.forward.scaled(scale))
+                if has_downstream:
+                    send = self.executor.issue(
+                        CollectiveOp.SEND,
+                        send_bytes,
+                        name=f"iter{iteration}.mb{m}.act-send",
+                    )
+                    yield from self._wait_comm(send)
+
+            breakdown.backward_start_ns = self.sim.now
+            for m in range(micro):
+                for layer in reversed(stage_layers):
+                    yield from self._run_compute(layer.input_grad.scaled(scale))
+                    yield from self._run_compute(layer.weight_grad.scaled(scale))
+                if has_upstream:
+                    send = self.executor.issue(
+                        CollectiveOp.SEND,
+                        send_bytes,
+                        name=f"iter{iteration}.mb{m}.grad-send",
+                    )
+                    yield from self._wait_comm(send)
+
+            # Explicit 1F1B fill/drain: the bottleneck stage sits idle for
+            # (S - 1) slot times per iteration while the pipeline ramps.
+            slot = (self.sim.now - iter_start) / micro
+            bubble = (spec.stages - 1) * slot
+            if bubble > 0:
+                total_bubble += bubble
+                yield bubble
+
+            breakdown.end_ns = self.sim.now
+            breakdown.compute_ns = self.compute.total_compute_ns - compute_at_start
+            breakdown.exposed_comm_ns = self._exposed_comm_ns - exposed_at_start
+
+        self._extra_metrics = {
+            "bubble_fraction": pipeline_bubble_fraction(spec.stages, micro),
+            "pipeline_bubble_ns": total_bubble,
+            "pipeline_stages": float(spec.stages),
+            "pipeline_microbatches": float(micro),
+        }
+
+    def _stage_time(self, stage_layers) -> float:
+        """Estimated per-iteration compute time of one pipeline stage."""
+        return sum(
+            self.compute.task_time_ns(layer.forward)
+            + self.compute.task_time_ns(layer.input_grad)
+            + self.compute.task_time_ns(layer.weight_grad)
+            for layer in stage_layers
+        )
+
+    def _activation_send_bytes(self, microbatches: int) -> int:
+        """Per-microbatch payload of one stage-boundary activation transfer."""
+        declared = self.workload.pipeline_activation_bytes
+        if declared <= 0:
+            # Architectural proxy: the boundary tensor is on the order of one
+            # layer's parameter footprint (hidden_size^2-ish weights vs
+            # batch x hidden_size-ish activations at paper batch sizes).
+            declared = max(
+                self.workload.dtype_bytes,
+                self.workload.total_params_bytes // max(1, self.workload.num_layers),
+            )
+        return max(1, declared // microbatches)
 
     # ------------------------------------------------------------------
     # Helpers
@@ -266,6 +420,7 @@ class TrainingLoop:
                 horizon, self.utilization_window_ns
             ),
         )
+        result.extra.update(self._extra_metrics)
         return result
 
 
@@ -286,11 +441,16 @@ def simulate_training(
     chunk_bytes: Optional[int] = None,
     overlap_embedding: bool = False,
     backend: Optional[str] = None,
+    parallelism: Optional[str] = None,
 ) -> TrainingResult:
     """Convenience wrapper: build a loop, run it, return the result.
 
     ``backend`` selects the network model (``"symmetric" | "detailed" |
     "auto"``; default: the system configuration's ``network_backend``).
+    ``parallelism`` overrides the parallelisation strategy (``"data" |
+    "model" | "hybrid" | "zero" | "pipeline" |
+    "pipeline:<stages>x<microbatches>"``; default: the system configuration's
+    ``parallelism``, then the workload's native strategy).
     """
     loop = TrainingLoop(
         system=system,
@@ -300,5 +460,6 @@ def simulate_training(
         chunk_bytes=chunk_bytes,
         overlap_embedding=overlap_embedding,
         backend=backend,
+        parallelism=parallelism,
     )
     return loop.run()

@@ -5,16 +5,116 @@ all-reduce per layer) and hybrid parallelism for DLRM (data parallel across
 the MLP layers, model parallel across the embedding tables, exchanged with
 all-to-alls).  Megatron-LM style tensor parallelism adds blocking activation
 all-reduces around every layer.
+
+Two further strategies extend the sweep space beyond the paper's four
+workloads:
+
+``zero``
+    ZeRO/FSDP-style sharded data parallelism.  Optimizer state and parameters
+    are sharded across the data-parallel group, so each layer's
+    weight-gradient all-reduce is replaced by a reduce-scatter in the
+    backward pass plus a parameter all-gather before the layer's next forward
+    pass.  On ring algorithms the two halves inject exactly the bytes of the
+    all-reduce they replace (``(n-1)/n + (n-1)/n = 2(n-1)/n``), which the
+    property tests pin down.
+
+``pipeline``
+    1F1B pipeline parallelism.  The layer list is split into contiguous
+    stages; weights are sharded by stage, so there are *no* weight-gradient
+    collectives — stages exchange activations (forward) and activation
+    gradients (backward) over point-to-point sends instead, and the schedule
+    pays an explicit fill/drain bubble of ``(stages - 1)`` slot times per
+    iteration.  The spec grammar ``"pipeline:<stages>x<microbatches>"``
+    selects the geometry (defaults: 4 stages × 8 microbatches).
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.collectives.base import CollectiveOp
-from repro.errors import WorkloadError
-from repro.workloads.base import Layer, Workload
+from repro.errors import ConfigurationError, WorkloadError
+from repro.workloads.base import PARALLELISM_STRATEGIES, Layer, Workload
+
+#: Default 1F1B geometry for a bare ``"pipeline"`` spec.
+DEFAULT_PIPELINE_STAGES = 4
+DEFAULT_PIPELINE_MICROBATCHES = 8
+
+_PIPELINE_SPEC = re.compile(r"^pipeline:(\d+)x(\d+)$")
+
+
+@dataclass(frozen=True)
+class ParallelismSpec:
+    """A parsed parallelism spec: the strategy plus pipeline geometry."""
+
+    strategy: str
+    stages: int = 0
+    microbatches: int = 0
+
+    def __post_init__(self) -> None:
+        if self.strategy not in PARALLELISM_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown parallelism strategy {self.strategy!r}; "
+                f"expected one of {PARALLELISM_STRATEGIES}"
+            )
+        if self.strategy == "pipeline":
+            if self.stages < 1 or self.microbatches < 1:
+                raise ConfigurationError(
+                    f"pipeline parallelism needs stages >= 1 and microbatches >= 1, "
+                    f"got {self.stages} stages x {self.microbatches} microbatches"
+                )
+        elif self.stages or self.microbatches:
+            raise ConfigurationError(
+                f"strategy {self.strategy!r} does not take pipeline geometry"
+            )
+
+    def canonical(self) -> str:
+        """The spec string this object round-trips to."""
+        if self.strategy == "pipeline":
+            return f"pipeline:{self.stages}x{self.microbatches}"
+        return self.strategy
+
+
+def parse_parallelism(spec: Union[str, ParallelismSpec]) -> ParallelismSpec:
+    """Parse a parallelism spec string.
+
+    Grammar: ``"data" | "model" | "hybrid" | "zero" | "pipeline" |
+    "pipeline:<stages>x<microbatches>"``.  A bare ``"pipeline"`` uses the
+    default 4×8 geometry.
+    """
+    if isinstance(spec, ParallelismSpec):
+        return spec
+    if not isinstance(spec, str) or not spec:
+        raise ConfigurationError(
+            f"parallelism spec must be a non-empty string, got {spec!r}"
+        )
+    text = spec.strip()
+    if text == "pipeline":
+        return ParallelismSpec(
+            strategy="pipeline",
+            stages=DEFAULT_PIPELINE_STAGES,
+            microbatches=DEFAULT_PIPELINE_MICROBATCHES,
+        )
+    match = _PIPELINE_SPEC.match(text)
+    if match:
+        return ParallelismSpec(
+            strategy="pipeline",
+            stages=int(match.group(1)),
+            microbatches=int(match.group(2)),
+        )
+    if text.startswith("pipeline"):
+        raise ConfigurationError(
+            f"malformed pipeline spec {spec!r}; expected 'pipeline' or "
+            f"'pipeline:<stages>x<microbatches>' (e.g. 'pipeline:4x8')"
+        )
+    if text not in PARALLELISM_STRATEGIES:
+        raise ConfigurationError(
+            f"unknown parallelism spec {spec!r}; expected one of "
+            f"{PARALLELISM_STRATEGIES} or 'pipeline:<stages>x<microbatches>'"
+        )
+    return ParallelismSpec(strategy=text)
 
 
 @dataclass(frozen=True)
@@ -25,6 +125,8 @@ class CollectiveRequest:
     payload_bytes: int
     #: "backward" collectives are issued after the layer's weight-gradient
     #: compute and only block the *next* iteration's forward pass;
+    #: "forward_gather" collectives (ZeRO parameter all-gathers) block the
+    #: layer's forward pass until the sharded parameters are materialised;
     #: "forward_blocking" / "backward_blocking" collectives stall the loop
     #: immediately (tensor-parallel activation synchronisation).
     when: str
@@ -33,14 +135,30 @@ class CollectiveRequest:
     def __post_init__(self) -> None:
         if self.payload_bytes <= 0:
             raise WorkloadError("collective payload must be positive")
-        if self.when not in ("backward", "forward_blocking", "backward_blocking"):
+        if self.when not in (
+            "backward",
+            "forward_gather",
+            "forward_blocking",
+            "backward_blocking",
+        ):
             raise WorkloadError(f"unknown collective timing {self.when!r}")
 
 
-def collectives_for_layer(layer: Layer, parallelism: str) -> List[CollectiveRequest]:
-    """Collectives required for ``layer`` under the given parallelism."""
+def collectives_for_layer(
+    layer: Layer, parallelism: Union[str, ParallelismSpec]
+) -> List[CollectiveRequest]:
+    """Collectives required for ``layer`` under the given parallelism.
+
+    Unknown parallelism strings raise :class:`WorkloadError` — a typo must
+    not silently produce a communication-free (and therefore optimistic)
+    simulation.
+    """
+    try:
+        spec = parse_parallelism(parallelism)
+    except ConfigurationError as exc:
+        raise WorkloadError(str(exc)) from exc
     requests: List[CollectiveRequest] = []
-    if parallelism in ("data", "hybrid") and layer.params_bytes > 0:
+    if spec.strategy in ("data", "hybrid") and layer.params_bytes > 0:
         requests.append(
             CollectiveRequest(
                 op=layer.comm_op,
@@ -49,6 +167,27 @@ def collectives_for_layer(layer: Layer, parallelism: str) -> List[CollectiveRequ
                 layer_name=layer.name,
             )
         )
+    if spec.strategy == "zero" and layer.params_bytes > 0:
+        # Sharded data parallelism: gradient reduce-scatter in backward plus
+        # parameter all-gather gating the next forward (ZeRO stage 3 / FSDP).
+        requests.append(
+            CollectiveRequest(
+                op=CollectiveOp.REDUCE_SCATTER,
+                payload_bytes=layer.params_bytes,
+                when="backward",
+                layer_name=layer.name,
+            )
+        )
+        requests.append(
+            CollectiveRequest(
+                op=CollectiveOp.ALL_GATHER,
+                payload_bytes=layer.params_bytes,
+                when="forward_gather",
+                layer_name=layer.name,
+            )
+        )
+    # ``pipeline`` shards weights by stage: no weight-gradient collectives at
+    # all — activation sends are scheduled by the loop, not per layer.
     if layer.forward_allreduce_bytes > 0:
         requests.append(
             CollectiveRequest(
@@ -76,4 +215,125 @@ def total_backward_payload(workload: Workload) -> int:
         layer.params_bytes
         for layer in workload.layers
         if layer.params_bytes > 0
+    )
+
+
+# ----------------------------------------------------------------------
+# Pipeline geometry
+# ----------------------------------------------------------------------
+def pipeline_stages(
+    layers: Sequence[Layer], num_stages: int
+) -> List[Tuple[Layer, ...]]:
+    """Split ``layers`` into ``num_stages`` contiguous, flops-balanced stages.
+
+    Stage boundaries are chosen greedily against the mean per-stage flops so
+    the bottleneck stage is as close to ``total / num_stages`` as a contiguous
+    partition allows; every stage holds at least one layer.
+    """
+    if num_stages < 1:
+        raise WorkloadError(f"num_stages must be >= 1, got {num_stages}")
+    if num_stages > len(layers):
+        raise WorkloadError(
+            f"cannot split {len(layers)} layers into {num_stages} pipeline "
+            f"stages; use at most one stage per layer"
+        )
+    stages: List[Tuple[Layer, ...]] = []
+    remaining = list(layers)
+    for index in range(num_stages):
+        stages_left = num_stages - index
+        if stages_left == 1:
+            stages.append(tuple(remaining))
+            remaining = []
+            break
+        total = sum(layer.total_flops for layer in remaining)
+        target = total / stages_left
+        max_take = len(remaining) - (stages_left - 1)
+        take, accumulated = 0, 0.0
+        while take < max_take:
+            accumulated += remaining[take].total_flops
+            take += 1
+            if accumulated >= target:
+                break
+        take = max(1, take)
+        stages.append(tuple(remaining[:take]))
+        remaining = remaining[take:]
+    return stages
+
+
+def pipeline_bubble_fraction(num_stages: int, num_microbatches: int) -> float:
+    """Closed-form 1F1B bubble fraction: ``(S - 1) / (M + S - 1)``.
+
+    With uniform per-stage slot times the pipeline fills for ``S - 1`` slots,
+    streams ``M`` microbatches, and drains for the complementary ``S - 1``
+    slots; the idle fraction of the iteration is exactly this ratio
+    (PipeDream-Flush / Megatron-LM pipelining analysis).
+    """
+    if num_stages < 1:
+        raise WorkloadError(f"num_stages must be >= 1, got {num_stages}")
+    if num_microbatches < 1:
+        raise WorkloadError(f"num_microbatches must be >= 1, got {num_microbatches}")
+    return (num_stages - 1) / (num_microbatches + num_stages - 1)
+
+
+def one_f_one_b_schedule(
+    num_stages: int,
+    num_microbatches: int,
+    forward_slot: float = 1.0,
+    backward_slot: float = 1.0,
+) -> float:
+    """Makespan of an explicitly-built 1F1B schedule, in slot-time units.
+
+    Builds the per-stage operation order (warmup forwards, steady-state
+    one-forward-one-backward, backward drain), resolves cross-stage
+    dependencies (forward ``m`` needs the upstream forward ``m``; backward
+    ``m`` needs the downstream backward ``m``) to a fixed point, and returns
+    the completion time of the last backward on stage 0.  Used by the
+    property tests to confirm :func:`pipeline_bubble_fraction` against a real
+    schedule rather than trusting the closed form.
+    """
+    if num_stages < 1:
+        raise WorkloadError(f"num_stages must be >= 1, got {num_stages}")
+    if num_microbatches < 1:
+        raise WorkloadError(f"num_microbatches must be >= 1, got {num_microbatches}")
+    if forward_slot < 0 or backward_slot < 0:
+        raise WorkloadError("slot times cannot be negative")
+    S, M = num_stages, num_microbatches
+    orders: List[List[Tuple[str, int]]] = []
+    for stage in range(S):
+        warmup = min(S - 1 - stage, M)
+        order: List[Tuple[str, int]] = [("F", m) for m in range(warmup)]
+        issued_b = 0
+        for m in range(warmup, M):
+            order.append(("F", m))
+            order.append(("B", issued_b))
+            issued_b += 1
+        order.extend(("B", m) for m in range(issued_b, M))
+        orders.append(order)
+
+    durations = {"F": forward_slot, "B": backward_slot}
+    finish: Dict[Tuple[str, int, int], float] = {}
+    # The dependency graph is a DAG but backward deps point up-stage, so a
+    # single stage-ordered sweep cannot resolve it; iterate sweeps until the
+    # least fixed point (bounded by the op count) is reached.
+    for _ in range(2 * S * M + 2):
+        changed = False
+        for stage in range(S):
+            previous_end = 0.0
+            for kind, m in orders[stage]:
+                if kind == "F" and stage > 0:
+                    dep = finish.get(("F", stage - 1, m), 0.0)
+                elif kind == "B" and stage < S - 1:
+                    dep = finish.get(("B", stage + 1, m), 0.0)
+                else:
+                    dep = 0.0
+                end = max(previous_end, dep) + durations[kind]
+                key = (kind, stage, m)
+                if finish.get(key) != end:
+                    finish[key] = end
+                    changed = True
+                previous_end = end
+        if not changed:
+            return max(finish.values())
+    raise WorkloadError(
+        f"1F1B schedule for {S} stages x {M} microbatches did not converge"
     )

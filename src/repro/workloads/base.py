@@ -15,6 +15,15 @@ from repro.collectives.base import CollectiveOp
 from repro.compute.kernels import FP16_BYTES, KernelCost
 from repro.errors import WorkloadError
 
+#: Parallelisation strategies the training loop understands.  ``data``,
+#: ``model`` and ``hybrid`` are the paper's original mixes; ``zero`` is
+#: ZeRO/FSDP-style sharded data parallelism (reduce-scatter + all-gather
+#: instead of all-reduce) and ``pipeline`` is a 1F1B pipeline schedule.
+#: The ``pipeline`` strategy additionally accepts a parameterised spec of the
+#: form ``"pipeline:<stages>x<microbatches>"`` at the configuration layer
+#: (see :func:`repro.training.parallelism.parse_parallelism`).
+PARALLELISM_STRATEGIES: Tuple[str, ...] = ("data", "model", "hybrid", "zero", "pipeline")
+
 
 @dataclass(frozen=True)
 class Layer:
@@ -104,6 +113,11 @@ class Workload:
     #: therefore the compute:communication ratio that drives Figs. 10-12)
     #: with the per-iteration compute levels the paper reports.
     compute_time_scale: float = 1.0
+    #: Bytes of activations crossing a pipeline-stage boundary for one full
+    #: batch (pipeline parallelism only).  Zero means "not declared"; the
+    #: training loop falls back to the mean per-layer parameter footprint as
+    #: an architectural proxy for the boundary tensor.
+    pipeline_activation_bytes: int = 0
     extra: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
@@ -111,10 +125,13 @@ class Workload:
             raise WorkloadError(f"workload {self.name!r} has no layers")
         if self.batch_size_per_npu <= 0:
             raise WorkloadError(f"workload {self.name!r} needs a positive batch size")
-        if self.parallelism not in ("data", "model", "hybrid"):
+        if self.parallelism not in PARALLELISM_STRATEGIES:
             raise WorkloadError(
-                f"parallelism must be 'data', 'model' or 'hybrid', got {self.parallelism!r}"
+                f"parallelism must be one of {PARALLELISM_STRATEGIES}, "
+                f"got {self.parallelism!r}"
             )
+        if self.pipeline_activation_bytes < 0:
+            raise WorkloadError("pipeline_activation_bytes cannot be negative")
         if self.embedding is not None and self.embedding.alltoall_before_layer >= len(self.layers):
             raise WorkloadError("embedding.alltoall_before_layer is out of range")
         if self.compute_time_scale <= 0:

@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) locking down the parallelism strategies.
+
+Two families of invariants from the PR that added ``zero`` and ``pipeline``
+strategies:
+
+* **Byte conservation** — replacing each layer's weight-gradient all-reduce
+  (data parallelism) with a reduce-scatter + parameter all-gather (ZeRO) must
+  move exactly the same number of bytes over the wire on ring algorithms:
+  ``(n-1)/n + (n-1)/n == 2(n-1)/n`` per payload byte, for *any* layer list.
+* **Bubble accounting** — the closed form ``(S-1)/(M+S-1)`` used by the
+  training loop must match the makespan of an explicitly constructed 1F1B
+  schedule (warmup / steady-state / drain with real cross-stage dependencies)
+  for *any* geometry, not just the hand-checked ones.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.base import CollectiveOp
+from repro.collectives.planner import plan_collective
+from repro.compute.kernels import KernelCost
+from repro.errors import WorkloadError
+from repro.network.topology import Torus3D
+from repro.training.parallelism import (
+    collectives_for_layer,
+    one_f_one_b_schedule,
+    parse_parallelism,
+    pipeline_bubble_fraction,
+    pipeline_stages,
+)
+from repro.workloads.base import Layer
+
+# Keep hypothesis example counts modest so the suite stays fast.
+DEFAULT_SETTINGS = settings(max_examples=40, deadline=None)
+
+
+def _kernel(name: str, flops: float = 1e9) -> KernelCost:
+    return KernelCost(name=name, flops=flops, bytes_read=1e6, bytes_written=1e6)
+
+
+def _layer(index: int, params_bytes: int, flops: float = 1e9) -> Layer:
+    return Layer(
+        name=f"layer{index}",
+        forward=_kernel(f"fwd{index}", flops),
+        input_grad=_kernel(f"igrad{index}", flops),
+        weight_grad=_kernel(f"wgrad{index}", flops),
+        params_bytes=params_bytes,
+    )
+
+
+layer_lists = st.lists(
+    st.integers(min_value=0, max_value=1 << 30), min_size=1, max_size=24
+).map(lambda sizes: [_layer(i, size) for i, size in enumerate(sizes)])
+
+
+# ----------------------------------------------------------------------
+# Byte conservation: data vs zero
+# ----------------------------------------------------------------------
+@DEFAULT_SETTINGS
+@given(layers=layer_lists)
+def test_zero_requests_conserve_payload_bytes(layers):
+    """Per layer, ZeRO's RS + AG request exactly the all-reduce's payload."""
+    for layer in layers:
+        data_reqs = collectives_for_layer(layer, "data")
+        zero_reqs = collectives_for_layer(layer, "zero")
+        data_payload = sum(r.payload_bytes for r in data_reqs)
+        zero_payload = sum(r.payload_bytes for r in zero_reqs)
+        if layer.params_bytes == 0:
+            assert not data_reqs and not zero_reqs
+            continue
+        # One AR vs one RS + one AG over the same parameter bytes.
+        assert [r.op for r in data_reqs] == [CollectiveOp.ALL_REDUCE]
+        assert sorted(r.op.value for r in zero_reqs) == ["all_gather", "reduce_scatter"]
+        assert zero_payload == 2 * data_payload
+        assert all(r.payload_bytes == layer.params_bytes for r in zero_reqs)
+        # RS rides the backward pass; AG gates the next forward.
+        whens = {r.op: r.when for r in zero_reqs}
+        assert whens[CollectiveOp.REDUCE_SCATTER] == "backward"
+        assert whens[CollectiveOp.ALL_GATHER] == "forward_gather"
+
+
+@DEFAULT_SETTINGS
+@given(
+    ring_size=st.integers(min_value=2, max_value=16),
+    layers=layer_lists,
+)
+def test_zero_ring_wire_bytes_equal_data_parallel(ring_size, layers):
+    """On a ring, RS + AG inject exactly the bytes of the AR they replace."""
+    topology = Torus3D(ring_size, 1, 1)
+    ar = plan_collective("all_reduce", topology, algorithm="ring")
+    rs = plan_collective("reduce_scatter", topology, algorithm="ring")
+    ag = plan_collective("all_gather", topology, algorithm="ring")
+    assert rs.total_injected_fraction + ag.total_injected_fraction == pytest.approx(
+        ar.total_injected_fraction, rel=1e-12
+    )
+    data_wire = 0.0
+    zero_wire = 0.0
+    for layer in layers:
+        for request in collectives_for_layer(layer, "data"):
+            data_wire += request.payload_bytes * ar.total_injected_fraction
+        for request in collectives_for_layer(layer, "zero"):
+            plan = rs if request.op is CollectiveOp.REDUCE_SCATTER else ag
+            zero_wire += request.payload_bytes * plan.total_injected_fraction
+    assert zero_wire == pytest.approx(data_wire, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# 1F1B bubble accounting
+# ----------------------------------------------------------------------
+@DEFAULT_SETTINGS
+@given(
+    num_stages=st.integers(min_value=1, max_value=10),
+    num_microbatches=st.integers(min_value=1, max_value=40),
+)
+def test_bubble_fraction_matches_explicit_1f1b_schedule(num_stages, num_microbatches):
+    """Closed form (S-1)/(M+S-1) equals the real schedule's idle fraction."""
+    makespan = one_f_one_b_schedule(num_stages, num_microbatches)
+    # With unit fwd/bwd slots the schedule runs (M + S - 1) slot pairs.
+    expected_makespan = 2.0 * (num_microbatches + num_stages - 1)
+    assert makespan == pytest.approx(expected_makespan, rel=1e-12)
+    busy = 2.0 * num_microbatches
+    idle_fraction = (makespan - busy) / makespan
+    assert idle_fraction == pytest.approx(
+        pipeline_bubble_fraction(num_stages, num_microbatches), rel=1e-12
+    )
+
+
+@DEFAULT_SETTINGS
+@given(
+    num_stages=st.integers(min_value=1, max_value=8),
+    num_microbatches=st.integers(min_value=1, max_value=24),
+    slot=st.floats(min_value=0.25, max_value=8.0),
+)
+def test_bubble_fraction_is_slot_scale_invariant(num_stages, num_microbatches, slot):
+    """Scaling all slot times scales the makespan; the fraction is unchanged."""
+    base = one_f_one_b_schedule(num_stages, num_microbatches)
+    scaled = one_f_one_b_schedule(
+        num_stages, num_microbatches, forward_slot=slot, backward_slot=slot
+    )
+    assert scaled == pytest.approx(base * slot, rel=1e-9)
+
+
+@DEFAULT_SETTINGS
+@given(
+    num_layers=st.integers(min_value=1, max_value=32),
+    num_stages=st.integers(min_value=1, max_value=32),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_pipeline_stage_split_is_a_contiguous_partition(num_layers, num_stages, seed):
+    """Stage splitting covers every layer exactly once, in order."""
+    import random
+
+    rng = random.Random(seed)
+    layers = [
+        _layer(i, 1024, flops=rng.uniform(1e8, 1e11)) for i in range(num_layers)
+    ]
+    if num_stages > num_layers:
+        with pytest.raises(WorkloadError):
+            pipeline_stages(layers, num_stages)
+        return
+    stages = pipeline_stages(layers, num_stages)
+    assert len(stages) == num_stages
+    assert all(stage for stage in stages)
+    flattened = [layer for stage in stages for layer in stage]
+    assert flattened == layers
+
+
+@DEFAULT_SETTINGS
+@given(
+    num_stages=st.integers(min_value=1, max_value=64),
+    num_microbatches=st.integers(min_value=1, max_value=64),
+)
+def test_pipeline_spec_round_trips(num_stages, num_microbatches):
+    """parse_parallelism(spec.canonical()) is the identity on pipeline specs."""
+    spec = parse_parallelism(f"pipeline:{num_stages}x{num_microbatches}")
+    assert spec.stages == num_stages
+    assert spec.microbatches == num_microbatches
+    assert parse_parallelism(spec.canonical()) == spec

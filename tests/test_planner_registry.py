@@ -23,13 +23,14 @@ from repro.network.topology import (
 
 
 class TestRegistry:
-    def test_all_five_algorithms_registered(self):
+    def test_all_algorithms_registered(self):
         assert set(algorithms()) == {
             "hierarchical",
             "direct",
             "ring",
             "tree",
             "halving_doubling",
+            "p2p",
         }
 
     def test_paper_algorithms_registered_first(self):

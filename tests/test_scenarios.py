@@ -19,7 +19,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.errors import InvariantViolation, ScenarioError
+from repro.errors import ConfigurationError, InvariantViolation, ScenarioError
 from repro.experiments.common import PAPER_SYSTEMS, grid_jobs
 from repro.runner import ResultCache, SimJob, SweepRunner
 from repro.scenarios import (
@@ -242,6 +242,74 @@ class TestLoader:
         assert [job.spec_hash() for job in manifest_jobs] == [
             job.spec_hash() for job in harness_jobs
         ]
+
+    def test_sweep_expansion_matches_hand_enumerated_grids(self):
+        """A ``sweep`` block is byte-identical to one ``grid_jobs`` batch per
+        outer-axis cell (fabric x backend x algorithm x parallelism), so
+        sweep-expanded specs hit exactly the cache keys a hand-written
+        harness would."""
+        scenario = Scenario.from_dict(
+            {
+                "schema": 1,
+                "name": "sweep-equivalence",
+                "description": "sweep templating equivalence fixture",
+                "suites": [
+                    {
+                        "kind": "sweep",
+                        "systems": ["ace", "ideal"],
+                        "workloads": ["resnet50", "gnmt"],
+                        "sizes": [16, 32],
+                        "backends": [None, "hybrid"],
+                        "algorithms": ["auto", "ring"],
+                        "parallelisms": [None, "zero", "pipeline:4x8"],
+                        "iterations": 1,
+                        "fast": True,
+                    }
+                ],
+            }
+        )
+        manifest_jobs = scenario_jobs(scenario)
+        harness_jobs = []
+        for backend in (None, "hybrid"):
+            for algorithm in ("auto", "ring"):
+                for parallelism in (None, "zero", "pipeline:4x8"):
+                    harness_jobs.extend(
+                        grid_jobs(
+                            systems=("ace", "ideal"),
+                            workloads=("resnet50", "gnmt"),
+                            sizes=(16, 32),
+                            iterations=1,
+                            fast=True,
+                            backend=backend,
+                            algorithm=algorithm,
+                            parallelism=parallelism,
+                        )
+                    )
+        assert len(manifest_jobs) == 96
+        assert [job.to_json() for job in manifest_jobs] == [
+            job.to_json() for job in harness_jobs
+        ]
+        assert [job.spec_hash() for job in manifest_jobs] == [
+            job.spec_hash() for job in harness_jobs
+        ]
+
+    def test_sweep_rejects_pipeline_over_embedding_workloads(self):
+        scenario = Scenario.from_dict(
+            {
+                "schema": 1,
+                "name": "sweep-bad",
+                "description": "pipeline cannot span dlrm embedding exchange",
+                "suites": [
+                    {
+                        "kind": "sweep",
+                        "workloads": ["dlrm"],
+                        "parallelisms": ["pipeline:2x4"],
+                    }
+                ],
+            }
+        )
+        with pytest.raises(ConfigurationError, match="pipeline"):
+            scenario_jobs(scenario)
 
 
 # ---------------------------------------------------------------------------

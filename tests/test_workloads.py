@@ -105,7 +105,7 @@ class TestWorkloadValidation:
 
     def test_bad_parallelism_rejected(self):
         with pytest.raises(WorkloadError):
-            Workload(name="w", layers=(self._layer(),), batch_size_per_npu=1, parallelism="pipeline")
+            Workload(name="w", layers=(self._layer(),), batch_size_per_npu=1, parallelism="tensor3d")
 
     def test_negative_params_rejected(self):
         with pytest.raises(WorkloadError):
