@@ -23,11 +23,19 @@ the same run on the same machine, so the ratio is hardware-independent; it
 is the property the detailed hot path's coalescing/batching work bought, and
 this gate keeps it bought.
 
+The sweep-service benchmark (``BENCH_service.json``) is gated with
+``--service``: the warm-pool batch must be at least ``--min-warm-speedup``
+(default 2.0) faster than a cold start, and a second run of the
+``paper-fast`` batch must be served at least ``--min-cached-fraction``
+(default 0.95) from the shared cache.  Both are same-run ratios, so no
+committed baseline is needed and the gate is hardware-independent.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/compare_bench.py BENCH_backends.json \
         [--baseline benchmarks/baselines/BENCH_backends.json] \
         [--tolerance 0.25]
+    PYTHONPATH=src python benchmarks/compare_bench.py --service BENCH_service.json
 
 The tolerance can also be set with the ``REPRO_BENCH_TOLERANCE`` environment
 variable (the flag wins).  To re-baseline intentionally, regenerate with
@@ -57,6 +65,13 @@ DEFAULT_MAX_DETAILED_RATIO = 2.0
 #: Relative slack for the "exact" simulated-result comparison; absorbs float
 #: formatting of the JSON snapshot only, exactly like the golden-value suite.
 SIM_REL_TOL = 1e-9
+
+#: Sweep-service gates (``--service``): minimum warm-pool speedup over a cold
+#: start, and minimum cache-served fraction on a second paper-fast run.
+WARM_SPEEDUP_ENV = "REPRO_BENCH_MIN_WARM_SPEEDUP"
+DEFAULT_MIN_WARM_SPEEDUP = 2.0
+CACHED_FRACTION_ENV = "REPRO_BENCH_MIN_CACHED_FRACTION"
+DEFAULT_MIN_CACHED_FRACTION = 0.95
 
 Key = Tuple[str, int, str]
 
@@ -143,9 +158,62 @@ def check_detailed_ratio(
     return problems
 
 
+def check_service(
+    path: Path, min_warm_speedup: float, min_cached_fraction: float
+) -> List[str]:
+    """Gate a ``BENCH_service.json`` payload (empty list = pass)."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}")
+    results = payload.get("results")
+    if not isinstance(results, dict):
+        raise SystemExit(f"error: {path} has no 'results' object")
+    problems: List[str] = []
+    warm_speedup = float(results.get("warm_speedup", 0.0))
+    if warm_speedup < min_warm_speedup:
+        problems.append(
+            f"warm-pool speedup {warm_speedup:.2f}x is below the "
+            f"{min_warm_speedup:.2f}x floor (cold "
+            f"{float(results.get('cold_batch_s', 0.0)):.3f}s vs warm "
+            f"{float(results.get('warm_batch_s', 0.0)):.3f}s); the persistent "
+            f"pool must keep amortising spawn+import cost"
+        )
+    paper_fast = results.get("paper_fast", {})
+    cached_fraction = float(paper_fast.get("cached_fraction", 0.0))
+    if cached_fraction < min_cached_fraction:
+        problems.append(
+            f"second paper-fast run served only {100.0 * cached_fraction:.0f}% "
+            f"from cache ({paper_fast.get('second_run_cache_hits')}/"
+            f"{paper_fast.get('jobs')} jobs; floor "
+            f"{100.0 * min_cached_fraction:.0f}%)"
+        )
+    concurrent = results.get("concurrent", {})
+    executed = concurrent.get("executed")
+    jobs_per_client = concurrent.get("jobs_per_client")
+    if executed is not None and jobs_per_client is not None:
+        if int(executed) != int(jobs_per_client):
+            problems.append(
+                f"single-flight violated: {executed} executions for "
+                f"{jobs_per_client} unique specs across concurrent clients"
+            )
+    print(
+        f"service: warm speedup {warm_speedup:.1f}x "
+        f"(floor {min_warm_speedup:.1f}x), paper-fast cached "
+        f"{100.0 * cached_fraction:.0f}% (floor "
+        f"{100.0 * min_cached_fraction:.0f}%), dedup rate "
+        f"{float(concurrent.get('dedup_rate', 0.0)):.2f}"
+    )
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("fresh", help="freshly generated BENCH_backends.json")
+    parser.add_argument(
+        "fresh", nargs="?", default=None, help="freshly generated BENCH_backends.json"
+    )
     parser.add_argument(
         "--baseline",
         default=str(DEFAULT_BASELINE),
@@ -165,7 +233,29 @@ def main(argv=None) -> int:
         help=f"max detailed/symmetric wall ratio at {RATIO_NPUS} NPUs in the "
         f"fresh run (default {DEFAULT_MAX_DETAILED_RATIO}, or ${RATIO_ENV})",
     )
+    parser.add_argument(
+        "--service",
+        metavar="BENCH_service.json",
+        default=None,
+        help="also (or only) gate a sweep-service benchmark payload",
+    )
+    parser.add_argument(
+        "--min-warm-speedup",
+        type=float,
+        default=None,
+        help=f"minimum warm-pool speedup over cold start (default "
+        f"{DEFAULT_MIN_WARM_SPEEDUP}, or ${WARM_SPEEDUP_ENV})",
+    )
+    parser.add_argument(
+        "--min-cached-fraction",
+        type=float,
+        default=None,
+        help=f"minimum cache-served fraction on the second paper-fast run "
+        f"(default {DEFAULT_MIN_CACHED_FRACTION}, or ${CACHED_FRACTION_ENV})",
+    )
     args = parser.parse_args(argv)
+    if args.fresh is None and args.service is None:
+        parser.error("nothing to gate: pass a BENCH_backends.json and/or --service")
     tolerance = args.tolerance
     if tolerance is None:
         tolerance = float(os.environ.get(TOLERANCE_ENV, DEFAULT_TOLERANCE))
@@ -177,31 +267,52 @@ def main(argv=None) -> int:
     if max_ratio <= 0:
         raise SystemExit(f"error: max detailed ratio must be positive, got {max_ratio}")
 
-    baseline = _load_rows(Path(args.baseline))
-    fresh = _load_rows(Path(args.fresh))
-    problems = compare(baseline, fresh, tolerance)
-    problems += check_detailed_ratio(fresh, max_ratio)
-
-    for key in sorted(set(baseline) & set(fresh)):
-        base_wall = float(baseline[key]["wall_s"])
-        fresh_wall = float(fresh[key]["wall_s"])
-        delta = 100.0 * (fresh_wall / base_wall - 1.0) if base_wall > 0 else 0.0
-        backend, npus, workload = key
-        print(
-            f"{backend:<10} {npus:>3} NPUs {workload}: "
-            f"wall {base_wall:.3f}s -> {fresh_wall:.3f}s ({delta:+.1f}%)"
+    min_warm_speedup = args.min_warm_speedup
+    if min_warm_speedup is None:
+        min_warm_speedup = float(os.environ.get(WARM_SPEEDUP_ENV, DEFAULT_MIN_WARM_SPEEDUP))
+    min_cached_fraction = args.min_cached_fraction
+    if min_cached_fraction is None:
+        min_cached_fraction = float(
+            os.environ.get(CACHED_FRACTION_ENV, DEFAULT_MIN_CACHED_FRACTION)
         )
+
+    problems: List[str] = []
+    if args.fresh is not None:
+        baseline = _load_rows(Path(args.baseline))
+        fresh = _load_rows(Path(args.fresh))
+        problems += compare(baseline, fresh, tolerance)
+        problems += check_detailed_ratio(fresh, max_ratio)
+
+        for key in sorted(set(baseline) & set(fresh)):
+            base_wall = float(baseline[key]["wall_s"])
+            fresh_wall = float(fresh[key]["wall_s"])
+            delta = 100.0 * (fresh_wall / base_wall - 1.0) if base_wall > 0 else 0.0
+            backend, npus, workload = key
+            print(
+                f"{backend:<10} {npus:>3} NPUs {workload}: "
+                f"wall {base_wall:.3f}s -> {fresh_wall:.3f}s ({delta:+.1f}%)"
+            )
+    if args.service is not None:
+        problems += check_service(Path(args.service), min_warm_speedup, min_cached_fraction)
 
     if problems:
         print(f"\nFAIL: {len(problems)} benchmark regression(s):", file=sys.stderr)
         for problem in problems:
             print(f"  - {problem}", file=sys.stderr)
         return 1
-    print(
-        f"\nOK: no regressions vs {args.baseline} (wall tolerance "
-        f"{100 * tolerance:.0f}%, detailed/symmetric wall ratio at "
-        f"{RATIO_NPUS} NPUs <= {max_ratio:.2f}x)"
-    )
+    checked = []
+    if args.fresh is not None:
+        checked.append(
+            f"no regressions vs {args.baseline} (wall tolerance "
+            f"{100 * tolerance:.0f}%, detailed/symmetric wall ratio at "
+            f"{RATIO_NPUS} NPUs <= {max_ratio:.2f}x)"
+        )
+    if args.service is not None:
+        checked.append(
+            f"service gates hold (warm speedup >= {min_warm_speedup:.1f}x, "
+            f"cached fraction >= {100 * min_cached_fraction:.0f}%)"
+        )
+    print(f"\nOK: {'; '.join(checked)}")
     return 0
 
 

@@ -11,9 +11,29 @@ Two backends share one interface:
   process; used by the default runner so independent figure harnesses share
   results for free.
 * **disk** (``directory=...``) — persists encoded results as one JSON file
-  per entry.  Set the ``REPRO_CACHE_DIR`` environment variable to give the
-  default runner a persistent cache.  Corrupted or mismatched entries are
-  detected, counted, deleted, and treated as misses.
+  per entry, sharded into 256 two-hex-character subdirectories
+  (``ab/<sha256>.json``) so many concurrent workers — or the sweep daemon's
+  whole client population — can share one directory without creating a
+  single huge flat listing.  Set the ``REPRO_CACHE_DIR`` environment
+  variable to give the default runner a persistent cache.  Corrupted or
+  mismatched entries are detected, counted, deleted, and treated as misses.
+
+A disk-backed cache keeps a **write-through memory layer** in front of the
+files: every payload stored or loaded in this process is retained in memory,
+so a repeated ``lookup()`` of the same key skips re-reading and re-parsing
+the JSON file.  :attr:`ResultCache.stats` breaks hits down into
+``memory_hits`` and ``disk_hits`` so the layer's effect is observable.
+
+**Concurrency.**  Writes go to a temp file in the destination shard and are
+published with an atomic ``os.replace``, so a reader — even one racing
+``prune()`` or ``clear()`` in another process — only ever observes a missing
+entry or a complete one, never a torn write.  Two processes storing the same
+key both write the identical deterministic entry; last rename wins.
+
+**Layout migration.**  Caches written before sharding used a flat
+``<sha256>.json`` layout.  Lookups read both layouts, and :meth:`prune`
+relocates still-valid flat entries into their shard subdirectory, so an
+existing ``REPRO_CACHE_DIR`` survives the upgrade with its contents intact.
 
 The cache stores *encoded* payloads (see :mod:`repro.runner.serialization`);
 the runner decodes a fresh object per lookup so cached results are never
@@ -26,7 +46,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, Optional, Union
 
 from repro.errors import ConfigurationError
 from repro.runner.job import SimJob
@@ -36,10 +56,18 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 _ENTRY_SCHEMA = 1
 
+#: Hex-prefix length of the shard subdirectories (``ab/<sha256>.json``).
+_SHARD_WIDTH = 2
+
 
 def _is_entry_name(stem: str) -> bool:
     """Whether a file stem looks like a cache key (64 lowercase hex chars)."""
     return len(stem) == 64 and all(c in "0123456789abcdef" for c in stem)
+
+
+def _is_shard_name(name: str) -> bool:
+    """Whether a directory name is a shard prefix (2 lowercase hex chars)."""
+    return len(name) == _SHARD_WIDTH and all(c in "0123456789abcdef" for c in name)
 
 
 class ResultCache:
@@ -70,6 +98,10 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.corrupted = 0
+        #: Hits served by the write-through memory layer (no file read).
+        self.memory_hits = 0
+        #: Hits that had to read and parse an on-disk entry.
+        self.disk_hits = 0
 
     # ------------------------------------------------------------------
     # Core interface
@@ -85,15 +117,21 @@ class ResultCache:
         """
         key = key or self.key_for(job)
         payload = self._memory.get(key)
-        if payload is None and self.directory is not None:
+        if payload is not None:
+            self.hits += 1
+            self.memory_hits += 1
+            return payload
+        if self.directory is not None:
             payload = self._load_from_disk(key, job)
             if payload is not None:
+                # Write-through layer: retain the parsed payload so the next
+                # lookup of this key skips the file read entirely.
                 self._memory[key] = payload
-        if payload is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return payload
+                self.hits += 1
+                self.disk_hits += 1
+                return payload
+        self.misses += 1
+        return None
 
     def store(
         self, job: SimJob, payload: Dict[str, object], key: Optional[str] = None
@@ -109,10 +147,11 @@ class ResultCache:
                 "result": payload,
             }
             path = self._path_for(key)
-            # Write-then-rename so concurrent runners never observe a
-            # half-written entry.
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Write-then-rename in the destination shard (same filesystem) so
+            # concurrent runners never observe a half-written entry.
             fd, tmp_name = tempfile.mkstemp(
-                dir=str(self.directory), prefix=f".{key[:16]}-", suffix=".tmp"
+                dir=str(path.parent), prefix=f".{key[:16]}-", suffix=".tmp"
             )
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -132,32 +171,54 @@ class ResultCache:
     def stats(self) -> Dict[str, int]:
         """Hit/miss counters plus entry counts for both backends.
 
-        ``entries`` matches ``len(self)``; ``disk_entries`` and
-        ``memory_entries`` break it down per backend (``disk_entries`` is 0
-        for a memory-only cache).
+        ``hits`` is the total; ``memory_hits`` and ``disk_hits`` split it by
+        which layer served the payload (every disk hit is retained in memory,
+        so repeat lookups of a key count as memory hits).  ``entries``
+        matches ``len(self)``; ``disk_entries`` and ``memory_entries`` break
+        it down per backend (``disk_entries`` is 0 for a memory-only cache).
         """
         disk = self._disk_entry_count()
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
             "corrupted": self.corrupted,
             "entries": len(self),
             "disk_entries": disk,
             "memory_entries": len(self._memory),
         }
 
+    def _iter_entry_paths(self) -> Iterator[Path]:
+        """Every on-disk file that is actually a cache entry, both layouts.
+
+        Yields sharded ``ab/<sha256>.json`` entries and legacy flat
+        ``<sha256>.json`` entries; anything else living in the directory —
+        foreign JSON artifacts, unrelated subdirectories — is skipped.
+        """
+        if self.directory is None:
+            return
+        for path in self.directory.glob("*.json"):
+            if _is_entry_name(path.stem):
+                yield path
+        for shard in self.directory.iterdir():
+            if not shard.is_dir() or not _is_shard_name(shard.name):
+                continue
+            for path in shard.glob("*.json"):
+                if _is_entry_name(path.stem):
+                    yield path
+
     def _disk_entry_count(self) -> int:
         """Number of on-disk files that are actually cache entries.
 
-        Counts only ``<sha256>.json`` files: a cache directory that (against
-        advice) also holds other JSON artifacts must not have them reported
-        as entries.
+        Counts only ``<sha256>.json`` files (flat or sharded): a cache
+        directory that (against advice) also holds other JSON artifacts must
+        not have them reported as entries.  A key present in both layouts —
+        possible mid-migration — counts once.
         """
         if self.directory is None:
             return 0
-        return sum(
-            1 for path in self.directory.glob("*.json") if _is_entry_name(path.stem)
-        )
+        return len({path.stem for path in self._iter_entry_paths()})
 
     def __len__(self) -> int:
         """Number of distinct cached entries.
@@ -173,25 +234,23 @@ class ResultCache:
         return len(self._memory)
 
     def prune(self) -> int:
-        """Delete disk entries written under a different spec version.
+        """Delete stale disk entries and migrate flat-layout ones.
 
         Entries are version-salted, so a cache directory shared across
         simulator upgrades accumulates files no current run can ever hit
         again.  ``prune()`` removes every entry whose recorded ``version``
         (or schema) differs from this cache's — unreadable files count as
-        stale too — and returns the number of files removed.  ``python -m
+        stale too — and returns the number of files removed.  Still-valid
+        entries found in the legacy flat ``<sha256>.json`` layout are
+        relocated into their shard subdirectory (atomic rename; a reader
+        racing the move simply sees a miss and re-simulates).  ``python -m
         repro bench`` calls this before benchmarking so a long-lived
         ``REPRO_CACHE_DIR`` does not grow without bound.
         """
         if self.directory is None:
             return 0
         removed = 0
-        for path in self.directory.glob("*.json"):
-            # Only ever touch files following the cache's <sha256>.json naming
-            # scheme: a cache directory that (against advice) also holds other
-            # JSON artifacts must not have them deleted.
-            if not _is_entry_name(path.stem):
-                continue
+        for path in list(self._iter_entry_paths()):
             try:
                 with path.open("r", encoding="utf-8") as handle:
                     entry = json.load(handle)
@@ -199,6 +258,8 @@ class ResultCache:
                     entry.get("schema") != _ENTRY_SCHEMA
                     or entry.get("version") != self.version
                 )
+            except FileNotFoundError:
+                continue  # lost a race with another pruner/clearer
             except (OSError, ValueError):
                 stale = True
             if stale:
@@ -207,57 +268,73 @@ class ResultCache:
                     removed += 1
                 except OSError:
                     pass
+                continue
+            if path.parent == self.directory:
+                # Legacy flat entry: move it into its shard subdirectory so
+                # pre-sharding cache contents survive the layout upgrade.
+                target = self._path_for(path.stem)
+                try:
+                    target.parent.mkdir(parents=True, exist_ok=True)
+                    os.replace(path, target)
+                except OSError:
+                    pass
         return removed
 
     def clear(self) -> None:
         """Drop every entry (and reset nothing else — counters persist).
 
         Like :meth:`prune`, only files following the cache's
-        ``<sha256>.json`` naming scheme are unlinked: foreign JSON artifacts
-        living in the cache directory survive a ``clear()``.
+        ``<sha256>.json`` naming scheme (flat or sharded) are unlinked:
+        foreign JSON artifacts living in the cache directory survive a
+        ``clear()``.
         """
         self._memory.clear()
-        if self.directory is not None:
-            for path in self.directory.glob("*.json"):
-                if not _is_entry_name(path.stem):
-                    continue
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+        for path in list(self._iter_entry_paths()):
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
     # Disk backend
     # ------------------------------------------------------------------
     def _path_for(self, key: str) -> Path:
+        """The sharded path a key is written to (``ab/<sha256>.json``)."""
         assert self.directory is not None
-        return self.directory / f"{key}.json"
+        return self.directory / key[:_SHARD_WIDTH] / f"{key}.json"
+
+    def _read_paths(self, key: str) -> Iterator[Path]:
+        """Candidate paths for a key: the shard first, then the flat legacy."""
+        assert self.directory is not None
+        yield self._path_for(key)
+        yield self.directory / f"{key}.json"
 
     def _load_from_disk(self, key: str, job: SimJob) -> Optional[Dict[str, object]]:
-        path = self._path_for(key)
-        try:
-            with path.open("r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-            if entry["schema"] != _ENTRY_SCHEMA:
-                raise ValueError(f"unsupported cache schema {entry['schema']!r}")
-            if entry["version"] != self.version:
-                raise ValueError("cache entry version mismatch")
-            if entry["job"] != job.to_dict():
-                raise ValueError("cache entry does not match the requested job")
-            result = entry["result"]
-            if not isinstance(result, dict):
-                raise ValueError("cache entry result is not an object")
-            return result
-        except FileNotFoundError:
-            return None
-        except (OSError, ValueError, KeyError, TypeError):
-            # Corrupted, truncated, or stale entry: drop it and re-simulate.
-            self.corrupted += 1
+        for path in self._read_paths(key):
             try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
+                with path.open("r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+                if entry["schema"] != _ENTRY_SCHEMA:
+                    raise ValueError(f"unsupported cache schema {entry['schema']!r}")
+                if entry["version"] != self.version:
+                    raise ValueError("cache entry version mismatch")
+                if entry["job"] != job.to_dict():
+                    raise ValueError("cache entry does not match the requested job")
+                result = entry["result"]
+                if not isinstance(result, dict):
+                    raise ValueError("cache entry result is not an object")
+                return result
+            except FileNotFoundError:
+                continue
+            except (OSError, ValueError, KeyError, TypeError):
+                # Corrupted, truncated, or stale entry: drop it and re-simulate.
+                self.corrupted += 1
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                return None
+        return None
 
 
 def cache_from_env() -> ResultCache:

@@ -24,6 +24,7 @@ only plain strings and JSON-safe dicts cross process boundaries.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
 import os
 import time
 import traceback
@@ -64,6 +65,9 @@ class RunnerStats:
     cache_hits: int = 0
     deduplicated: int = 0
     errors: int = 0
+    #: Worker pools created over the runner's lifetime; a multi-batch driver
+    #: on a healthy persistent pool sees this stay at 1.
+    pool_starts: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -72,7 +76,20 @@ class RunnerStats:
             "cache_hits": self.cache_hits,
             "deduplicated": self.deduplicated,
             "errors": self.errors,
+            "pool_starts": self.pool_starts,
         }
+
+
+def warm_worker() -> None:
+    """Pool initializer: pre-import the simulator into a fresh worker.
+
+    Importing :mod:`repro.runner.job` pulls in the training loop, the network
+    backends, and every workload, so by the time a worker receives its first
+    payload the import cost is already paid.  This is what makes a persistent
+    pool "warm": under spawn-type start methods each worker would otherwise
+    re-import the whole simulator inside its first job's wall time.
+    """
+    import repro.runner.job  # noqa: F401  (imported for its side effects)
 
 
 def _execute_payload(payload_json: str) -> Tuple[str, object, float]:
@@ -122,7 +139,16 @@ def _resolve_workers(workers: Union[int, str, None]) -> int:
 
 
 class SweepRunner:
-    """Run batches of simulation jobs, in parallel, with result caching."""
+    """Run batches of simulation jobs, in parallel, with result caching.
+
+    The worker pool is created lazily on the first parallel batch and then
+    **reused across every subsequent** :meth:`run` call, so multi-batch
+    drivers (``repro run paper-full``, the figure harnesses, the sweep
+    daemon) pay the process-spawn and simulator-import cost once, not per
+    batch.  Call :meth:`close` — or use the runner as a context manager —
+    to release the pool; a later :meth:`run` transparently builds a fresh
+    one.
+    """
 
     def __init__(
         self,
@@ -134,6 +160,50 @@ class SweepRunner:
         self.cache = cache
         self.mp_start_method = mp_start_method
         self.stats = RunnerStats()
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        """The persistent worker pool, created (warm) on first use."""
+        if self._pool is None:
+            context = (
+                multiprocessing.get_context(self.mp_start_method)
+                if self.mp_start_method
+                else multiprocessing.get_context()
+            )
+            self._pool = context.Pool(
+                processes=self.workers, initializer=warm_worker
+            )
+            self.stats.pool_starts += 1
+        return self._pool
+
+    def close(self) -> None:
+        """Release the persistent worker pool (idempotent).
+
+        The runner stays usable: the next parallel :meth:`run` lazily builds
+        a fresh pool.
+        """
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            pool.close()
+            pool.join()
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        # Best-effort cleanup for runners dropped without close(); the
+        # interpreter may already be tearing down, so swallow everything.
+        try:
+            if self._pool is not None:
+                self._pool.terminate()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # Public API
@@ -219,18 +289,15 @@ class SweepRunner:
         if not jobs:
             return []
         payloads = [job.to_json() for job in jobs]
-        if self.workers <= 1 or len(jobs) == 1:
+        # Serial runners execute inline; so does a single job when no pool is
+        # warm yet (spawning workers for one job would cost more than it
+        # saves — but an already-warm pool is cheaper than an inline run of
+        # anything non-trivial, so it gets the job).
+        if self.workers <= 1 or (len(jobs) == 1 and self._pool is None):
             return [_execute_payload(payload) for payload in payloads]
-        context = (
-            multiprocessing.get_context(self.mp_start_method)
-            if self.mp_start_method
-            else multiprocessing.get_context()
-        )
-        processes = min(self.workers, len(jobs))
-        with context.Pool(processes=processes) as pool:
-            # map() preserves order; chunksize=1 keeps long cells from
-            # serialising behind short ones on one worker.
-            return pool.map(_execute_payload, payloads, chunksize=1)
+        # map() preserves order; chunksize=1 keeps long cells from
+        # serialising behind short ones on one worker.
+        return self._ensure_pool().map(_execute_payload, payloads, chunksize=1)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,55 @@
+"""The persistent sweep service: a warm-pool daemon for SimJob batches.
+
+The batch harness (:mod:`repro.runner`) pays full process-spawn cost per
+invocation and assumes a single cache client.  This package turns it into a
+long-lived **sweep daemon** so heavy, concurrent sweep traffic is served
+from one warm simulator:
+
+* :class:`SweepService` — the engine: a persistent worker pool created once
+  (workers pre-import the simulator), a **single-flight table** keyed on
+  ``spec_hash`` so identical jobs from concurrent requests attach to one
+  in-flight execution, and a shard-aware disk :class:`~repro.runner.ResultCache`
+  in write-through mode.
+* :class:`ServiceServer` / :func:`serve` — a threaded localhost socket
+  server speaking newline-delimited JSON (:mod:`repro.service.protocol`);
+  ``python -m repro serve`` is the CLI entry point.
+* :class:`ServiceClient` / :class:`DaemonRunner` — the thin client side:
+  ``DaemonRunner`` is a drop-in :class:`~repro.runner.SweepRunner` that
+  executes batches on the daemon; :func:`daemon_runner_from_env` implements
+  the ``repro run --daemon auto`` fallback-to-inline semantics.
+
+Results are **byte-identical** to inline execution: jobs travel as their
+canonical JSON, run through the same ``execute()``/``encode_result`` path a
+local runner uses, and come back as encoded payloads the client decodes
+exactly like a cache hit.
+"""
+
+from repro.service.client import (
+    DaemonRunner,
+    ServiceClient,
+    daemon_runner_from_env,
+)
+from repro.service.protocol import (
+    DAEMON_ENV,
+    DAEMON_HOST_ENV,
+    DAEMON_PORT_ENV,
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    daemon_address_from_env,
+)
+from repro.service.server import ServiceServer, SweepService, serve
+
+__all__ = [
+    "DAEMON_ENV",
+    "DAEMON_HOST_ENV",
+    "DAEMON_PORT_ENV",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DaemonRunner",
+    "ServiceClient",
+    "ServiceServer",
+    "SweepService",
+    "daemon_address_from_env",
+    "daemon_runner_from_env",
+    "serve",
+]

@@ -1,0 +1,210 @@
+"""Thin client for the sweep daemon, and the runner facade built on it.
+
+:class:`ServiceClient` speaks the line protocol (one connection per
+request; the daemon keeps no per-client state, so this is the simplest
+thing that is also robust against client crashes).  :class:`DaemonRunner`
+subclasses :class:`~repro.runner.SweepRunner` and overrides only
+:meth:`run`, so scenario execution, figure harnesses, and
+``run_values``/``run_one`` work unchanged against a daemon — results are
+decoded from the same encoded payloads an inline runner produces, which is
+what makes daemon-served and inline results byte-identical.
+
+:func:`daemon_runner_from_env` implements the CLI's ``--daemon`` semantics:
+``off`` never uses a daemon, ``auto`` uses one when reachable (silently
+falling back inline otherwise), ``require`` fails loudly when none answers.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError, ServiceError, SimulationError
+from repro.runner.job import SimJob
+from repro.runner.pool import JobOutcome, SweepRunner
+from repro.runner.serialization import decode_result
+from repro.service.protocol import (
+    DAEMON_ENV,
+    DAEMON_MODES,
+    PROTOCOL_VERSION,
+    daemon_address_from_env,
+    recv_message,
+    send_message,
+)
+
+#: Seconds allowed for the TCP connect; I/O afterwards is unbounded because
+#: a paper-scale batch can legitimately simulate for minutes.
+CONNECT_TIMEOUT_S = 5.0
+
+
+class ServiceClient:
+    """One daemon address plus the request/response plumbing to talk to it."""
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        connect_timeout: float = CONNECT_TIMEOUT_S,
+    ) -> None:
+        self.host, self.port = daemon_address_from_env(host, port)
+        self.connect_timeout = connect_timeout
+
+    @property
+    def address(self) -> str:
+        """Human-readable daemon address for error messages."""
+        return f"{self.host}:{self.port}"
+
+    def request(self, message: Dict[str, object]) -> Dict[str, object]:
+        """Send one request and return the daemon's ``ok`` response body.
+
+        Raises :class:`~repro.errors.ServiceError` for unreachable daemons,
+        closed connections, and ``ok: false`` responses.
+        """
+        payload = {"v": PROTOCOL_VERSION}
+        payload.update(message)
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            ) as sock:
+                sock.settimeout(None)  # simulations may run for minutes
+                send_message(sock, payload)
+                with sock.makefile("r", encoding="utf-8") as handle:
+                    response = recv_message(handle)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach sweep daemon at {self.address}: {exc}"
+            ) from None
+        if response is None:
+            raise ServiceError(
+                f"sweep daemon at {self.address} closed the connection mid-request"
+            )
+        if not response.get("ok"):
+            raise ServiceError(
+                f"sweep daemon at {self.address} rejected the request: "
+                f"{response.get('error', 'unknown error')}"
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # Protocol ops
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, object]:
+        """Liveness + identity check; refuses a version-mismatched daemon.
+
+        A daemon built from a different package version would produce
+        results under a different spec-hash salt — not byte-identical to a
+        local run — so the mismatch is an error, not a warning.
+        """
+        import repro
+
+        server = self.request({"op": "ping"})["server"]
+        if server.get("package_version") != repro.__version__:
+            raise ServiceError(
+                f"sweep daemon at {self.address} runs repro "
+                f"{server.get('package_version')!r} but this client is "
+                f"{repro.__version__!r}; restart the daemon on the same version"
+            )
+        return server
+
+    def run_jobs(self, specs: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+        """Execute a batch of job spec dicts; returns wire outcome dicts."""
+        response = self.request({"op": "run_jobs", "jobs": list(specs)})
+        outcomes = response.get("outcomes")
+        if not isinstance(outcomes, list) or len(outcomes) != len(specs):
+            raise ServiceError(
+                f"sweep daemon at {self.address} returned "
+                f"{len(outcomes) if isinstance(outcomes, list) else 'no'} "
+                f"outcome(s) for {len(specs)} job(s)"
+            )
+        return outcomes
+
+    def stats(self) -> Dict[str, object]:
+        """The daemon's lifetime service + cache counters."""
+        return self.request({"op": "stats"})["stats"]
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop accepting requests and exit."""
+        self.request({"op": "shutdown"})
+
+
+class DaemonRunner(SweepRunner):
+    """A :class:`SweepRunner` whose batches execute on a sweep daemon.
+
+    Only :meth:`run` is overridden: jobs travel as their canonical spec
+    dicts, outcomes come back as the daemon's encoded payloads and are
+    decoded exactly like local cache hits.  ``stats`` counts from this
+    client's perspective — ``cache_hits`` are daemon cache hits,
+    ``deduplicated`` are jobs that attached to an in-flight execution
+    (single-flight dedup), ``executed`` are simulations this client's
+    requests actually launched.
+    """
+
+    def __init__(self, client: ServiceClient) -> None:
+        super().__init__(workers=1)
+        self.client = client
+
+    def run(self, jobs: Iterable[SimJob]) -> List[JobOutcome]:
+        """Execute every job on the daemon; outcomes in input order."""
+        jobs = list(jobs)
+        for job in jobs:
+            if not isinstance(job, SimJob):
+                raise SimulationError(
+                    f"DaemonRunner.run expects SimJob instances, got {type(job).__name__}"
+                )
+        wire = self.client.run_jobs([job.to_dict() for job in jobs])
+        self.stats.jobs += len(jobs)
+        outcomes: List[JobOutcome] = []
+        for job, entry in zip(jobs, wire):
+            duration = float(entry.get("duration_s", 0.0))
+            if entry.get("status") == "ok":
+                if entry.get("from_cache"):
+                    self.stats.cache_hits += 1
+                elif entry.get("deduplicated"):
+                    self.stats.deduplicated += 1
+                else:
+                    self.stats.executed += 1
+                outcomes.append(
+                    JobOutcome(
+                        job,
+                        value=decode_result(entry["payload"]),
+                        from_cache=bool(entry.get("from_cache")),
+                        duration_s=duration,
+                    )
+                )
+            else:
+                self.stats.errors += 1
+                outcomes.append(
+                    JobOutcome(job, error=str(entry.get("payload")), duration_s=duration)
+                )
+        return outcomes
+
+
+def daemon_runner_from_env(
+    mode: Optional[str] = None,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+) -> Optional[DaemonRunner]:
+    """A :class:`DaemonRunner`, or ``None`` when inline execution should run.
+
+    ``mode`` (or the ``REPRO_DAEMON`` environment variable; default
+    ``off``): ``off`` always returns ``None``; ``auto`` pings the daemon and
+    falls back to ``None`` when it is unreachable; ``require`` raises
+    :class:`~repro.errors.ServiceError` instead of falling back.
+    """
+    resolved = (mode or os.environ.get(DAEMON_ENV) or "off").strip().lower()
+    if resolved not in DAEMON_MODES:
+        raise ConfigurationError(
+            f"unknown daemon mode {resolved!r}; expected one of {DAEMON_MODES} "
+            f"(check the {DAEMON_ENV} environment variable)"
+        )
+    if resolved == "off":
+        return None
+    client = ServiceClient(host=host, port=port)
+    try:
+        client.ping()
+    except ServiceError:
+        if resolved == "require":
+            raise
+        return None
+    return DaemonRunner(client)

@@ -1,0 +1,107 @@
+"""Wire protocol for the sweep daemon: newline-delimited JSON over TCP.
+
+One request and one response per line, each a JSON object.  Requests carry
+an ``op`` plus op-specific fields and the protocol ``v``; responses carry
+``ok`` (with op-specific payload fields) or ``ok: false`` with an ``error``
+string.  The framing is deliberately trivial — the payloads (canonical
+SimJob JSON in, encoded result payloads out) are the same dictionaries the
+runner and cache already exchange, so the daemon adds no new serialization
+format to the system.
+
+Ops:
+
+``ping``
+    Liveness + identity: responds with the server's package version, spec
+    version salt, and PID.  The client refuses to talk to a daemon whose
+    package version differs — results would not be byte-identical.
+``run_jobs``
+    ``jobs`` is a list of :meth:`SimJob.to_dict` specs; the response's
+    ``outcomes`` list is index-aligned, each entry carrying ``status``
+    ("ok"/"error"), the encoded ``payload`` (or traceback text), the
+    ``spec_hash``, ``duration_s``, and the ``from_cache``/``deduplicated``
+    provenance flags.
+``stats``
+    The service's lifetime counters (requests, jobs, executed, cache hits,
+    single-flight hits, dedup rate) plus the shared cache's counters.
+``shutdown``
+    Acknowledges, then stops the server loop.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ServiceError
+
+#: Client-mode environment variable: ``off`` (default) never uses a daemon,
+#: ``auto`` uses one when reachable and falls back inline, ``require`` fails
+#: if no daemon answers.
+DAEMON_ENV = "REPRO_DAEMON"
+#: Environment variable selecting the daemon's TCP port.
+DAEMON_PORT_ENV = "REPRO_DAEMON_PORT"
+#: Environment variable selecting the daemon's bind/connect host.
+DAEMON_HOST_ENV = "REPRO_DAEMON_HOST"
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8731
+
+#: Protocol revision; bumped on any wire-incompatible change.
+PROTOCOL_VERSION = 1
+
+#: Valid values for ``REPRO_DAEMON`` / ``repro run --daemon``.
+DAEMON_MODES = ("off", "auto", "require")
+
+
+def daemon_address_from_env(
+    host: Optional[str] = None, port: Optional[int] = None
+) -> Tuple[str, int]:
+    """Resolve the daemon address: explicit args beat env vars beat defaults."""
+    if host is None:
+        host = os.environ.get(DAEMON_HOST_ENV) or DEFAULT_HOST
+    if port is None:
+        raw = os.environ.get(DAEMON_PORT_ENV)
+        if raw is None or raw == "":
+            port = DEFAULT_PORT
+        else:
+            try:
+                port = int(raw)
+            except ValueError:
+                raise ServiceError(
+                    f"invalid daemon port {raw!r} (check the {DAEMON_PORT_ENV} "
+                    f"environment variable)"
+                ) from None
+    return host, port
+
+
+def send_message(sock: socket.socket, message: Dict[str, object]) -> None:
+    """Send one protocol message (a JSON object on a single line)."""
+    line = json.dumps(message, separators=(",", ":")) + "\n"
+    sock.sendall(line.encode("utf-8"))
+
+
+def recv_message(handle) -> Optional[Dict[str, object]]:
+    """Read one protocol message from a file-like line reader.
+
+    Returns ``None`` on a clean EOF (peer closed the connection).  Raises
+    :class:`~repro.errors.ServiceError` for unparsable or non-object lines.
+    """
+    line = handle.readline()
+    if not line:
+        return None
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ServiceError(f"malformed protocol message: {exc}") from None
+    if not isinstance(message, dict):
+        raise ServiceError(
+            f"protocol messages must be JSON objects, got {type(message).__name__}"
+        )
+    return message
+
+
+def error_response(message: str) -> Dict[str, object]:
+    """The uniform failure response body."""
+    return {"ok": False, "error": message}

@@ -1,0 +1,232 @@
+"""Concurrency and layout-migration behaviour of the sharded ResultCache.
+
+The cache is the shared substrate under the sweep daemon: many writer
+threads/processes race ``store()`` against readers and against maintenance
+(``prune()`` / ``clear()``).  The guarantees under test:
+
+* concurrent writers of the same key never produce a torn entry — every
+  read observes either nothing or one complete, valid payload (atomic
+  temp-file + rename writes),
+* a reader racing ``prune()``/``clear()`` sees only ``None`` or complete
+  payloads, never corruption,
+* legacy flat-layout entries (``<sha>.json`` directly in the cache root)
+  stay readable, and ``prune()`` migrates them into shard subdirectories,
+* the write-through memory layer serves repeat lookups without re-reading
+  disk, with hits split out in ``stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.runner import ResultCache, SweepRunner, network_drive_job
+from repro.runner.serialization import encode_result
+from repro.units import MB
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+def make_job(i: int = 0):
+    return network_drive_job("ace", (i + 1) * MB, topology=(2, 2, 2))
+
+
+def payload_for(job):
+    return encode_result(SweepRunner(workers=1).run_one(job))
+
+
+class TestConcurrentWriters:
+    def test_same_key_writers_never_tear(self, tmp_path):
+        """N threads racing store() of one key: reads are all-or-nothing."""
+        job = make_job()
+        payload = payload_for(job)
+        writers = 8
+        rounds = 25
+        stop = threading.Event()
+        failures = []
+
+        def write_loop():
+            cache = ResultCache(tmp_path)
+            for _ in range(rounds):
+                cache.store(job, payload)
+
+        def read_loop():
+            while not stop.is_set():
+                # A fresh cache each lookup defeats the memory layer so every
+                # read exercises the disk path being raced.
+                cache = ResultCache(tmp_path)
+                seen = cache.lookup(job)
+                if seen is not None and seen != payload:
+                    failures.append(seen)
+                if cache.stats["corrupted"]:
+                    failures.append("corrupted")
+
+        reader = threading.Thread(target=read_loop)
+        reader.start()
+        threads = [threading.Thread(target=write_loop) for _ in range(writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        stop.set()
+        reader.join(timeout=60)
+        assert not failures
+        final = ResultCache(tmp_path)
+        assert final.lookup(job) == payload
+        assert final.stats["corrupted"] == 0
+
+    def test_distinct_key_writers_all_land(self, tmp_path):
+        jobs = [make_job(i) for i in range(8)]
+        payloads = {job.spec_hash(): payload_for(job) for job in jobs}
+
+        def write(job):
+            ResultCache(tmp_path).store(job, payloads[job.spec_hash()])
+
+        threads = [threading.Thread(target=write, args=(job,)) for job in jobs]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        cache = ResultCache(tmp_path)
+        for job in jobs:
+            assert cache.lookup(job) == payloads[job.spec_hash()]
+        assert cache.stats["disk_entries"] == len(jobs)
+
+    def test_reader_racing_prune_and_clear_sees_no_corruption(self, tmp_path):
+        """Maintenance deletes whole entries; readers get None or a payload."""
+        jobs = [make_job(i) for i in range(4)]
+        payloads = {job.spec_hash(): payload_for(job) for job in jobs}
+        stop = threading.Event()
+        failures = []
+
+        def maintain_loop():
+            cache = ResultCache(tmp_path)
+            for _ in range(15):
+                for job, payload in [(j, payloads[j.spec_hash()]) for j in jobs]:
+                    cache.store(job, payload)
+                cache.prune()
+                cache.clear()
+
+        def read_loop():
+            while not stop.is_set():
+                cache = ResultCache(tmp_path)
+                for job in jobs:
+                    seen = cache.lookup(job)
+                    if seen is not None and seen != payloads[job.spec_hash()]:
+                        failures.append(seen)
+                if cache.stats["corrupted"]:
+                    failures.append("corrupted")
+
+        reader = threading.Thread(target=read_loop)
+        maintainer = threading.Thread(target=maintain_loop)
+        reader.start()
+        maintainer.start()
+        maintainer.join(timeout=120)
+        stop.set()
+        reader.join(timeout=60)
+        assert not failures
+
+
+class TestFlatLayoutCompatibility:
+    def seed_flat_entry(self, tmp_path, job, payload):
+        """Write a pre-sharding cache entry: <sha>.json in the root."""
+        import repro
+
+        record = {
+            "schema": 1,
+            "version": repro.__version__,
+            "job": job.to_dict(),
+            "result": payload,
+        }
+        path = tmp_path / f"{job.spec_hash()}.json"
+        path.write_text(json.dumps(record), encoding="utf-8")
+        return path
+
+    def test_flat_entries_are_readable(self, tmp_path):
+        job = make_job()
+        payload = payload_for(job)
+        flat_path = self.seed_flat_entry(tmp_path, job, payload)
+        cache = ResultCache(tmp_path)
+        assert cache.lookup(job) == payload
+        assert flat_path.exists()  # lookup alone does not migrate
+
+    def test_prune_migrates_flat_entries_to_shards(self, tmp_path):
+        job = make_job()
+        payload = payload_for(job)
+        flat_path = self.seed_flat_entry(tmp_path, job, payload)
+        cache = ResultCache(tmp_path)
+        removed = cache.prune()
+        assert removed == 0  # a valid entry is migrated, not removed
+        key = job.spec_hash()
+        assert not flat_path.exists()
+        assert (tmp_path / key[:2] / f"{key}.json").exists()
+        assert ResultCache(tmp_path).lookup(job) == payload
+
+    def test_prune_deletes_stale_flat_entries(self, tmp_path):
+        job = make_job()
+        payload = payload_for(job)
+        flat_path = self.seed_flat_entry(tmp_path, job, payload)
+        stale = json.loads(flat_path.read_text(encoding="utf-8"))
+        stale["version"] = "0.0.0-obsolete"
+        flat_path.write_text(json.dumps(stale), encoding="utf-8")
+        cache = ResultCache(tmp_path)
+        assert cache.prune() == 1
+        assert not flat_path.exists()
+        assert cache.lookup(job) is None
+
+    def test_clear_removes_both_layouts(self, tmp_path):
+        sharded_job, flat_job = make_job(0), make_job(1)
+        cache = ResultCache(tmp_path)
+        cache.store(sharded_job, payload_for(sharded_job))
+        self.seed_flat_entry(tmp_path, flat_job, payload_for(flat_job))
+        assert cache.stats["disk_entries"] == 2
+        cache.clear()
+        fresh = ResultCache(tmp_path)
+        assert fresh.lookup(sharded_job) is None
+        assert fresh.lookup(flat_job) is None
+        assert fresh.stats["disk_entries"] == 0
+
+    def test_entry_count_is_not_double_counted_mid_migration(self, tmp_path):
+        """A key present in both layouts (crash mid-migration) counts once."""
+        job = make_job()
+        payload = payload_for(job)
+        cache = ResultCache(tmp_path)
+        cache.store(job, payload)
+        self.seed_flat_entry(tmp_path, job, payload)
+        assert cache.stats["disk_entries"] == 1
+        assert cache.lookup(job) == payload
+
+
+class TestMemoryLayer:
+    def test_disk_hits_promote_to_memory(self, tmp_path):
+        job = make_job()
+        payload = payload_for(job)
+        ResultCache(tmp_path).store(job, payload)
+        cache = ResultCache(tmp_path)
+        assert cache.lookup(job) == payload  # disk read, promoted
+        # Remove the file behind the cache's back: the memory layer answers.
+        key = job.spec_hash()
+        (tmp_path / key[:2] / f"{key}.json").unlink()
+        assert cache.lookup(job) == payload
+        assert cache.stats["disk_hits"] == 1
+        assert cache.stats["memory_hits"] == 1
+
+    def test_store_is_write_through(self, tmp_path):
+        job = make_job()
+        payload = payload_for(job)
+        cache = ResultCache(tmp_path)
+        cache.store(job, payload)
+        key = job.spec_hash()
+        (tmp_path / key[:2] / f"{key}.json").unlink()
+        assert cache.lookup(job) == payload
+        assert cache.stats["memory_hits"] == 1
+        assert cache.stats["disk_hits"] == 0
+
+    def test_clear_also_drops_the_memory_layer(self, tmp_path):
+        job = make_job()
+        cache = ResultCache(tmp_path)
+        cache.store(job, payload_for(job))
+        cache.clear()
+        assert cache.lookup(job) is None

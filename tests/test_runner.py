@@ -144,7 +144,7 @@ class TestCache:
     def test_corrupted_cache_entry_is_recovered(self, tmp_path):
         jobs = small_batch()
         SweepRunner(workers=1, cache=ResultCache(tmp_path)).run_values(jobs)
-        entries = sorted(tmp_path.glob("*.json"))
+        entries = sorted(tmp_path.glob("??/*.json"))
         assert len(entries) == len(jobs)
         entries[0].write_text("{ not json", encoding="utf-8")
 
@@ -162,7 +162,8 @@ class TestCache:
         job = area_power_job()
         cache = ResultCache(tmp_path)
         SweepRunner(workers=1, cache=cache).run_one(job)
-        path = tmp_path / f"{cache.key_for(job)}.json"
+        key = cache.key_for(job)
+        path = tmp_path / key[:2] / f"{key}.json"
         entry = json.loads(path.read_text(encoding="utf-8"))
         entry["job"]["system"] = "tampered"
         path.write_text(json.dumps(entry), encoding="utf-8")
@@ -185,11 +186,12 @@ class TestCache:
         SweepRunner(workers=1, cache=current).run_one(job)
         unreadable = tmp_path / ("0" * 64 + ".json")
         unreadable.write_text("{ not json", encoding="utf-8")
-        assert len(list(tmp_path.glob("*.json"))) == 3
+        assert len(list(tmp_path.glob("**/*.json"))) == 3
         # The v1 entry and the unreadable file go; the v2 entry stays usable.
         assert current.prune() == 2
-        remaining = list(tmp_path.glob("*.json"))
-        assert remaining == [tmp_path / f"{job.spec_hash('v2')}.json"]
+        key = job.spec_hash("v2")
+        remaining = list(tmp_path.glob("**/*.json"))
+        assert remaining == [tmp_path / key[:2] / f"{key}.json"]
         fresh = ResultCache(tmp_path, version="v2")
         assert fresh.lookup(job) is not None
 
@@ -395,6 +397,61 @@ class TestWorkerParsing:
                 pool.default_runner()
         finally:
             pool.set_default_runner(None)
+
+
+# ---------------------------------------------------------------------------
+# Persistent pool reuse
+# ---------------------------------------------------------------------------
+
+
+class TestPersistentPool:
+    """The worker pool outlives one run() call and is reused across batches."""
+
+    def test_pool_is_reused_across_runs(self):
+        with SweepRunner(workers=2) as runner:
+            runner.run_values(small_batch())
+            first_pool = runner._pool
+            assert first_pool is not None
+            runner.run_values(
+                [network_drive_job("ace", 2 * MB, topology=(2, 2, 2))]
+            )
+            assert runner._pool is first_pool
+            assert runner.stats.pool_starts == 1
+
+    def test_close_releases_and_run_recreates(self):
+        runner = SweepRunner(workers=2)
+        runner.run_values(small_batch())
+        runner.close()
+        assert runner._pool is None
+        runner.close()  # idempotent
+        runner.run_values(small_batch())
+        assert runner._pool is not None
+        assert runner.stats.pool_starts == 2
+        runner.close()
+
+    def test_context_manager_closes_the_pool(self):
+        with SweepRunner(workers=2) as runner:
+            runner.run_values(small_batch())
+            assert runner._pool is not None
+        assert runner._pool is None
+
+    def test_serial_runner_never_builds_a_pool(self):
+        runner = SweepRunner(workers=1)
+        runner.run_values(small_batch())
+        assert runner._pool is None
+        assert runner.stats.pool_starts == 0
+
+    def test_single_job_runs_inline_until_a_pool_is_warm(self):
+        runner = SweepRunner(workers=2)
+        # One job, no pool yet: not worth spawning workers.
+        runner.run_values([network_drive_job("ace", MB, topology=(2, 2, 2))])
+        assert runner._pool is None
+        # A multi-job batch warms the pool; later single jobs then use it.
+        runner.run_values(small_batch())
+        assert runner._pool is not None
+        runner.run_values([network_drive_job("ace", 3 * MB, topology=(2, 2, 2))])
+        assert runner.stats.pool_starts == 1
+        runner.close()
 
 
 class TestFabricAndAlgorithmKnobs:
