@@ -30,6 +30,13 @@ The sweep-service benchmark (``BENCH_service.json``) is gated with
 (default 0.95) from the shared cache.  Both are same-run ratios, so no
 committed baseline is needed and the gate is hardware-independent.
 
+The trace-pipeline benchmark (``BENCH_traces.json``) is gated with
+``--traces``: at every cell that has a hand-coded reference, the trace
+load+lower wall time may not exceed ``--max-lower-ratio`` (default 25.0,
+env ``REPRO_BENCH_MAX_LOWER_RATIO``) times the hand-coded workload build.
+Same-run ratio again, so no committed baseline and no hardware dependence:
+the gate keeps trace loading a negligible fraction of any sweep cell.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/compare_bench.py BENCH_backends.json \
@@ -72,6 +79,11 @@ WARM_SPEEDUP_ENV = "REPRO_BENCH_MIN_WARM_SPEEDUP"
 DEFAULT_MIN_WARM_SPEEDUP = 2.0
 CACHED_FRACTION_ENV = "REPRO_BENCH_MIN_CACHED_FRACTION"
 DEFAULT_MIN_CACHED_FRACTION = 0.95
+
+#: Trace-pipeline gate (``--traces``): maximum trace load+lower wall time as
+#: a multiple of the hand-coded workload build for the same cell.
+LOWER_RATIO_ENV = "REPRO_BENCH_MAX_LOWER_RATIO"
+DEFAULT_MAX_LOWER_RATIO = 25.0
 
 Key = Tuple[str, int, str]
 
@@ -209,6 +221,46 @@ def check_service(
     return problems
 
 
+def check_traces(path: Path, max_lower_ratio: float) -> List[str]:
+    """Gate a ``BENCH_traces.json`` payload (empty list = pass)."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}")
+    rows = payload.get("results")
+    if not isinstance(rows, list) or not rows:
+        raise SystemExit(f"error: {path} has no 'results' rows")
+    problems: List[str] = []
+    gated = 0
+    worst = 0.0
+    for row in rows:
+        ratio = row.get("lower_ratio")
+        if ratio is None:
+            continue  # trace-only cell: no hand-coded reference to compare
+        gated += 1
+        ratio = float(ratio)
+        worst = max(worst, ratio)
+        if ratio > max_lower_ratio:
+            problems.append(
+                f"trace cell ({row['workload']}, {row['num_npus']} NPUs): "
+                f"load+lower took {ratio:.1f}x the hand-coded build "
+                f"({float(row['trace_load_lower_s']):.4f}s vs "
+                f"{float(row['hand_build_s']):.4f}s; max {max_lower_ratio:.1f}x)"
+            )
+    if gated == 0:
+        problems.append(
+            f"{path} has no cell with a hand-coded reference; the lower-ratio "
+            f"gate checked nothing"
+        )
+    print(
+        f"traces: {gated} gated cell(s), worst load+lower ratio "
+        f"{worst:.1f}x (max {max_lower_ratio:.1f}x)"
+    )
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -253,9 +305,24 @@ def main(argv=None) -> int:
         help=f"minimum cache-served fraction on the second paper-fast run "
         f"(default {DEFAULT_MIN_CACHED_FRACTION}, or ${CACHED_FRACTION_ENV})",
     )
+    parser.add_argument(
+        "--traces",
+        metavar="BENCH_traces.json",
+        default=None,
+        help="also (or only) gate a trace-pipeline benchmark payload",
+    )
+    parser.add_argument(
+        "--max-lower-ratio",
+        type=float,
+        default=None,
+        help=f"max trace load+lower wall time as a multiple of the hand-coded "
+        f"build (default {DEFAULT_MAX_LOWER_RATIO}, or ${LOWER_RATIO_ENV})",
+    )
     args = parser.parse_args(argv)
-    if args.fresh is None and args.service is None:
-        parser.error("nothing to gate: pass a BENCH_backends.json and/or --service")
+    if args.fresh is None and args.service is None and args.traces is None:
+        parser.error(
+            "nothing to gate: pass a BENCH_backends.json, --service and/or --traces"
+        )
     tolerance = args.tolerance
     if tolerance is None:
         tolerance = float(os.environ.get(TOLERANCE_ENV, DEFAULT_TOLERANCE))
@@ -274,6 +341,13 @@ def main(argv=None) -> int:
     if min_cached_fraction is None:
         min_cached_fraction = float(
             os.environ.get(CACHED_FRACTION_ENV, DEFAULT_MIN_CACHED_FRACTION)
+        )
+    max_lower_ratio = args.max_lower_ratio
+    if max_lower_ratio is None:
+        max_lower_ratio = float(os.environ.get(LOWER_RATIO_ENV, DEFAULT_MAX_LOWER_RATIO))
+    if max_lower_ratio <= 0:
+        raise SystemExit(
+            f"error: max lower ratio must be positive, got {max_lower_ratio}"
         )
 
     problems: List[str] = []
@@ -294,6 +368,8 @@ def main(argv=None) -> int:
             )
     if args.service is not None:
         problems += check_service(Path(args.service), min_warm_speedup, min_cached_fraction)
+    if args.traces is not None:
+        problems += check_traces(Path(args.traces), max_lower_ratio)
 
     if problems:
         print(f"\nFAIL: {len(problems)} benchmark regression(s):", file=sys.stderr)
@@ -311,6 +387,11 @@ def main(argv=None) -> int:
         checked.append(
             f"service gates hold (warm speedup >= {min_warm_speedup:.1f}x, "
             f"cached fraction >= {100 * min_cached_fraction:.0f}%)"
+        )
+    if args.traces is not None:
+        checked.append(
+            f"trace gates hold (load+lower <= {max_lower_ratio:.1f}x the "
+            f"hand-coded build)"
         )
     print(f"\nOK: {'; '.join(checked)}")
     return 0

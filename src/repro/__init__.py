@@ -94,7 +94,7 @@ from repro.workloads import (
     build_workload,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AceConfig",

@@ -14,6 +14,10 @@ Subcommands:
   print every expanded job spec without running anything; the dry-run view
   of server-side grid templating.
 * ``figures [figN|all]`` — regenerate the paper's figure/table harnesses.
+* ``trace list|validate|convert`` — the trace-driven workload toolbox: list
+  discovered operator-graph traces and registered device cost tables,
+  validate + lower every shipped trace, and export any built-in workload as
+  a trace JSON (the capture side of the round-trip acceptance test).
 * ``bench`` — the backend-throughput benchmark behind ``BENCH_backends.json``
   (pruning stale result-cache entries first).
 * ``serve`` — the persistent sweep daemon: a warm worker pool plus
@@ -135,6 +139,48 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser("bench", help="backend throughput benchmark (BENCH_backends.json)")
     p_bench.add_argument("--out", default="BENCH_backends.json", help="output JSON path")
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="operator-graph trace toolbox (list, validate, convert)",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    def add_trace_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--dir",
+            dest="directory",
+            default=None,
+            help="trace directory (default: $REPRO_TRACES_DIR or the repo's traces/)",
+        )
+
+    p_trace_list = trace_sub.add_parser(
+        "list", help="list discovered traces and registered device cost tables"
+    )
+    add_trace_dir(p_trace_list)
+    p_trace_list.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    p_trace_validate = trace_sub.add_parser(
+        "validate", help="validate traces and lower them through every cost table"
+    )
+    add_trace_dir(p_trace_validate)
+    p_trace_validate.add_argument("names", nargs="*", help="trace names (default: all)")
+
+    p_trace_convert = trace_sub.add_parser(
+        "convert", help="export a built-in workload as an operator-graph trace"
+    )
+    p_trace_convert.add_argument("workload", help="built-in workload name (or 'all')")
+    p_trace_convert.add_argument(
+        "--name",
+        default=None,
+        help="trace name override (default: the workload's name)",
+    )
+    p_trace_convert.add_argument(
+        "--out",
+        default=None,
+        help="output path, or a directory when converting 'all' "
+        "(default: print to stdout)",
+    )
+
     p_serve = sub.add_parser(
         "serve",
         help="run the persistent sweep daemon (warm pool + single-flight dedup)",
@@ -166,11 +212,16 @@ def _build_parser() -> argparse.ArgumentParser:
 def _scenario_summary(scenario: Scenario) -> Dict[str, object]:
     jobs = scenario_jobs(scenario)
     figures = [s.spec["figure"] for s in scenario.suites if s.kind == "figure"]
+    traces: List[str] = []
+    for suite in scenario.suites:
+        if suite.kind == "trace":
+            traces.extend(t for t in suite.spec["traces"] if t not in traces)
     return {
         "name": scenario.name,
         "suites": len(scenario.suites),
         "jobs": len(jobs),
         "figures": figures,
+        "traces": traces,
         "invariants": len(scenario.invariants),
         "tags": list(scenario.tags),
         "description": scenario.description,
@@ -187,6 +238,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print(f"{'scenario':<{name_width}}  {'jobs':>4}  {'inv':>3}  description")
     for summary in summaries:
         extras = f" (+{len(summary['figures'])} figure suite(s))" if summary["figures"] else ""
+        if summary["traces"]:
+            extras += f" (traces: {', '.join(summary['traces'])})"
         print(
             f"{summary['name']:<{name_width}}  {summary['jobs']:>4}  "
             f"{summary['invariants']:>3}  {summary['description']}{extras}"
@@ -385,6 +438,112 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_list(args: argparse.Namespace) -> int:
+    from repro.traces import cost_table_names, discover_traces, find_cost_table
+
+    traces = discover_traces(args.directory)
+    tables = [find_cost_table(name) for name in cost_table_names()]
+    if args.json:
+        payload = {
+            "traces": [trace.summary() for trace in traces],
+            "cost_tables": [
+                {
+                    "name": table.name,
+                    "tflops": table.tflops,
+                    "memory_bandwidth_gbps": table.memory_bandwidth_gbps,
+                    "description": table.description,
+                }
+                for table in tables
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    name_width = max([len(t.name) for t in traces] + [5])
+    print(f"{'trace':<{name_width}}  {'nodes':>5}  {'edges':>5}  description")
+    for trace in traces:
+        print(
+            f"{trace.name:<{name_width}}  {len(trace.nodes):>5}  "
+            f"{len(trace.edges):>5}  {trace.description}"
+        )
+    print(f"\n{len(traces)} trace(s); cost tables: {', '.join(t.name for t in tables)}")
+    return 0
+
+
+def _trace_validate(args: argparse.Namespace) -> int:
+    from repro.traces import (
+        cost_table_names,
+        default_trace_dir,
+        load_trace_file,
+        lower_trace,
+    )
+
+    directory = Path(args.directory) if args.directory else default_trace_dir()
+    if not directory.is_dir():
+        print(f"error: trace directory {directory} does not exist", file=sys.stderr)
+        return 1
+    if args.names:
+        paths = [directory / f"{name}.json" for name in args.names]
+    else:
+        paths = sorted(directory.glob("*.json"))
+    if not paths:
+        print("error: no trace files found", file=sys.stderr)
+        return 1
+    # Validation is load *and* lower: a trace that parses but cannot be
+    # scheduled (partial embedding stage, unknown layer tag) must FAIL here,
+    # and lowering through every registered cost table keeps the device
+    # tables honest too.
+    failures = 0
+    for path in paths:
+        try:
+            trace = load_trace_file(path)
+            for table in cost_table_names():
+                lower_trace(trace, table)
+        except ReproError as exc:
+            failures += 1
+            print(f"FAIL  {path.stem}: {exc}")
+            continue
+        print(
+            f"ok    {trace.name}: {len(trace.nodes)} node(s), "
+            f"{len(trace.edges)} edge(s), lowers on {len(cost_table_names())} cost table(s)"
+        )
+    if failures:
+        print(f"\n{failures} of {len(paths)} trace(s) invalid", file=sys.stderr)
+        return 1
+    print(f"\nall {len(paths)} trace(s) valid")
+    return 0
+
+
+def _trace_convert(args: argparse.Namespace) -> int:
+    from repro.traces import convert_workload
+    from repro.workloads import available_workloads
+
+    names = list(available_workloads()) if args.workload == "all" else [args.workload]
+    if args.workload == "all" and args.name is not None:
+        print("error: --name cannot be combined with 'all'", file=sys.stderr)
+        return 1
+    for name in names:
+        trace = convert_workload(name, args.name)
+        text = json.dumps(trace.to_dict(), indent=2) + "\n"
+        if args.out is None:
+            print(text, end="")
+        else:
+            out = Path(args.out)
+            path = out / f"{trace.name}.json" if (out.is_dir() or len(names) > 1) else out
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text, encoding="utf-8")
+            print(f"wrote {path} ({len(trace.nodes)} node(s), {len(trace.edges)} edge(s))")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    handlers = {
+        "list": _trace_list,
+        "validate": _trace_validate,
+        "convert": _trace_convert,
+    }
+    return handlers[args.trace_command](args)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import serve
 
@@ -399,6 +558,7 @@ _COMMANDS = {
     "expand": _cmd_expand,
     "figures": _cmd_figures,
     "bench": _cmd_bench,
+    "trace": _cmd_trace,
     "serve": _cmd_serve,
 }
 

@@ -44,6 +44,15 @@ class WorkloadError(ConfigurationError):
     """A workload definition is malformed."""
 
 
+class TraceError(ConfigurationError):
+    """An operator-graph trace is malformed or cannot be lowered.
+
+    Raised by :mod:`repro.traces` with the trace name (and the offending
+    node id, where one exists) in the message, so a bad ``traces/*.json``
+    file points straight at the broken declaration.
+    """
+
+
 class ScenarioError(ConfigurationError):
     """A scenario manifest is malformed or cannot be compiled into jobs.
 

@@ -28,6 +28,7 @@ from repro.runner.job import (
     area_power_job,
     network_drive_job,
     section_overrides,
+    trace_job,
     training_job,
 )
 from repro.runner.pool import (
@@ -62,5 +63,6 @@ __all__ = [
     "network_drive_job",
     "section_overrides",
     "set_default_runner",
+    "trace_job",
     "training_job",
 ]

@@ -138,6 +138,17 @@ class SimJob:
     chunk_bytes: Optional[int] = None
     # -- training jobs ---------------------------------------------------
     workload: Optional[str] = None
+    #: Operator-graph trace name (``traces/<name>.json``) driving this
+    #: training job instead of a built-in ``workload``; exactly one of the
+    #: two must be set.  ``None`` — like every post-1.1.0 optional knob —
+    #: is omitted from the canonical JSON, so non-trace specs hash
+    #: byte-identically to their 1.4.0 form.
+    trace: Optional[str] = None
+    #: Device cost table pricing the trace's op descriptors
+    #: (see :func:`repro.traces.cost.cost_table_names`); ``None`` uses
+    #: :data:`repro.traces.cost.DEFAULT_COST_TABLE` and is omitted from the
+    #: canonical JSON.
+    cost_table: Optional[str] = None
     iterations: int = 2
     overlap_embedding: bool = False
     #: Parallelisation strategy spec ("data" | "model" | "hybrid" | "zero" |
@@ -218,9 +229,27 @@ class SimJob:
                 )
             if self.chunk_bytes is not None and self.chunk_bytes <= 0:
                 raise ConfigurationError("chunk_bytes must be positive")
+        if self.trace is not None and self.kind != "training":
+            raise ConfigurationError(
+                f"traces only apply to training jobs, not {self.kind!r}"
+            )
+        if self.cost_table is not None:
+            if self.trace is None:
+                raise ConfigurationError(
+                    "cost_table only applies to trace-driven training jobs; "
+                    "set a trace name"
+                )
+            # Registry lookup only — no filesystem IO at submission time; the
+            # trace file itself is resolved in the worker at execute().
+            from repro.traces.cost import find_cost_table
+
+            find_cost_table(self.cost_table)
         if self.kind == "training":
-            if not self.workload:
-                raise ConfigurationError("training jobs need a workload name")
+            if bool(self.workload) == bool(self.trace):
+                raise ConfigurationError(
+                    "training jobs need exactly one of a workload name or a "
+                    "trace name"
+                )
             if self.iterations <= 0:
                 raise ConfigurationError("iterations must be positive")
         if self.kind == "network_drive":
@@ -241,9 +270,10 @@ class SimJob:
         """Plain-JSON dictionary of the spec (stable schema).
 
         Every pre-1.2.0 field is always present.  ``backend`` (added in
-        1.2.0) and ``parallelism`` (added in 1.4.0) are emitted only when
-        set: a job that does not use the knobs canonicalises to exactly the
-        1.1.0 JSON, so its spec hash — and therefore its cache key under any
+        1.2.0), ``parallelism`` (added in 1.4.0) and ``trace`` /
+        ``cost_table`` (added in 1.5.0) are emitted only when set: a job
+        that does not use the knobs canonicalises to exactly the 1.1.0
+        JSON, so its spec hash — and therefore its cache key under any
         fixed ``version`` salt — is unchanged by the upgrades.
         """
         data: Dict[str, object] = {
@@ -266,6 +296,10 @@ class SimJob:
             data["backend"] = self.backend
         if self.parallelism is not None:
             data["parallelism"] = self.parallelism
+        if self.trace is not None:
+            data["trace"] = self.trace
+        if self.cost_table is not None:
+            data["cost_table"] = self.cost_table
         return data
 
     def to_json(self) -> str:
@@ -368,9 +402,17 @@ class SimJob:
         network-drive jobs, and the Table IV row list for area/power jobs.
         """
         if self.kind == "training":
+            if self.trace is not None:
+                # Resolved here (in the worker), not at submission: building
+                # many specs must stay filesystem-free.
+                from repro.traces import find_trace, lower_trace
+
+                workload = lower_trace(find_trace(self.trace), self.cost_table)
+            else:
+                workload = build_workload(self.workload)
             return simulate_training(
                 self.build_system(),
-                build_workload(self.workload),
+                workload,
                 num_npus=self.build_topology(),
                 iterations=self.iterations,
                 chunk_bytes=self.chunk_bytes,
@@ -440,6 +482,45 @@ def training_job(
         iterations=iterations,
         chunk_bytes=chunk_bytes,
         overlap_embedding=overlap_embedding,
+        parallelism=parallelism,
+        overrides=overrides or {},
+    )
+
+
+def trace_job(
+    system: str,
+    trace: str,
+    num_npus: Optional[int] = None,
+    topology: Optional[Tuple[int, int, int]] = None,
+    fabric: Optional[str] = None,
+    algorithm: str = AUTO,
+    backend: Optional[str] = None,
+    iterations: int = 2,
+    chunk_bytes: Optional[int] = None,
+    cost_table: Optional[str] = None,
+    parallelism: Optional[str] = None,
+    overrides: Optional[Mapping[str, object]] = None,
+) -> SimJob:
+    """A training job driven by an operator-graph trace file.
+
+    ``trace`` names a ``traces/<name>.json`` operator graph; ``cost_table``
+    picks the device table pricing its op descriptors (default:
+    :data:`repro.traces.cost.DEFAULT_COST_TABLE`).  Everything else — the
+    system preset, fabric, collective algorithm, network backend,
+    parallelism — behaves exactly as in :func:`training_job`.
+    """
+    return SimJob(
+        kind="training",
+        system=system,
+        trace=trace,
+        cost_table=cost_table,
+        num_npus=num_npus,
+        topology=topology,
+        fabric=fabric,
+        algorithm=algorithm,
+        backend=backend,
+        iterations=iterations,
+        chunk_bytes=chunk_bytes,
         parallelism=parallelism,
         overrides=overrides or {},
     )

@@ -312,6 +312,63 @@ def _compile_sweep(spec: Mapping[str, object]) -> List[SimJob]:
     return jobs
 
 
+def _compile_trace(spec: Mapping[str, object]) -> List[SimJob]:
+    """Trace-driven training cells: (trace x outer axes x size x system).
+
+    Every trace file is loaded — and therefore fully validated — at compile
+    time, so a broken ``traces/<name>.json`` fails ``repro validate`` with
+    the offending node named instead of dying in a worker process.
+    """
+    from repro.experiments.common import PAPER_SYSTEMS
+    from repro.runner import trace_job
+    from repro.traces import find_trace
+    from repro.traces.cost import find_cost_table
+
+    systems = tuple(spec.get("systems", PAPER_SYSTEMS))
+    _check_systems(systems)
+    traces = tuple(spec["traces"])
+    for name in traces:
+        find_trace(name)
+    cost_table = spec.get("cost_table")
+    if cost_table is not None:
+        find_cost_table(str(cost_table))
+    sizes = tuple(spec.get("sizes", (16,)))
+    fabrics = tuple(spec.get("fabrics", (None,))) or (None,)
+    backends = tuple(spec.get("backends", (None,))) or (None,)
+    algorithms = tuple(spec.get("algorithms", ("auto",))) or ("auto",)
+    parallelisms = tuple(spec.get("parallelisms", (None,))) or (None,)
+    if any(fabric is not None for fabric in fabrics) and len(set(sizes)) > 1:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"a fabric spec fixes the platform size; pass a single-entry "
+            f"sizes instead of {sizes} (one fabric spec per size)"
+        )
+    jobs: List[SimJob] = []
+    for trace in traces:
+        for fabric in fabrics:
+            for backend in backends:
+                for algorithm in algorithms:
+                    for parallelism in parallelisms:
+                        for num_npus in sizes:
+                            for system in systems:
+                                jobs.append(
+                                    trace_job(
+                                        system,
+                                        trace,
+                                        num_npus=None if fabric else num_npus,
+                                        fabric=fabric,
+                                        algorithm=str(algorithm),
+                                        backend=backend,
+                                        iterations=int(spec.get("iterations", 2)),
+                                        chunk_bytes=spec.get("chunk_bytes"),
+                                        cost_table=cost_table,
+                                        parallelism=parallelism,
+                                    )
+                                )
+    return jobs
+
+
 def _compile_network_drive(spec: Mapping[str, object]) -> List[SimJob]:
     _check_systems(tuple(spec.get("systems", ("ace",))))
     jobs: List[SimJob] = []
@@ -404,6 +461,7 @@ def _compile_area_power(spec: Mapping[str, object]) -> List[SimJob]:
 _COMPILERS: Dict[str, Callable[[Mapping[str, object]], List[SimJob]]] = {
     "training_grid": _compile_training_grid,
     "sweep": _compile_sweep,
+    "trace": _compile_trace,
     "network_drive": _compile_network_drive,
     "cross_topology": _compile_cross_topology,
     "area_power": _compile_area_power,

@@ -63,6 +63,12 @@ def training_row(job: SimJob, result: TrainingResult) -> Dict[str, object]:
         "exposed_comm_us": result.exposed_comm_us,
         "achieved_net_bw_gbps": result.achieved_network_bandwidth_gbps,
     }
+    if job.trace is not None:
+        # Trace-driven cells: ``workload`` already carries the trace name
+        # (the lowered Workload is named after the trace); these keys let
+        # invariant ``where`` filters and group keys pin the trace slice.
+        row["trace"] = job.trace
+        row["cost_table"] = job.cost_table
     if "bubble_fraction" in result.extra:
         row["bubble_fraction"] = result.extra["bubble_fraction"]
         row["pipeline_stages"] = result.extra.get("pipeline_stages")

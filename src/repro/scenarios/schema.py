@@ -25,7 +25,7 @@ A manifest looks like::
       ]
     }
 
-Six suite kinds cover every experiment shape in the repo (see
+The suite kinds cover every experiment shape in the repo (see
 :data:`SUITE_KINDS`); three invariant kinds (:data:`INVARIANT_KINDS`) express
 the result properties a scenario promises — e.g. the paper's
 ``ideal <= ace <= baseline`` ordering.  The loader
@@ -50,6 +50,7 @@ SCHEMA_VERSION = 1
 SUITE_KINDS = (
     "training_grid",
     "sweep",
+    "trace",
     "network_drive",
     "cross_topology",
     "backend_validation",
@@ -243,6 +244,24 @@ _SUITE_FIELDS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
         ),
         (),
     ),
+    # Trace-driven training: the same outer axes as ``sweep`` but over
+    # operator-graph traces (``traces/<name>.json``) instead of built-in
+    # workloads, compiled to :func:`repro.runner.trace_job` specs.
+    "trace": (
+        (
+            "traces",
+            "systems",
+            "sizes",
+            "fabrics",
+            "backends",
+            "algorithms",
+            "parallelisms",
+            "iterations",
+            "chunk_bytes",
+            "cost_table",
+        ),
+        ("traces",),
+    ),
     "network_drive": (
         (
             "systems",
@@ -327,6 +346,18 @@ class Suite:
             _bool_field(spec, "fast", context, True)
             _bool_field(spec, "overlap_embedding", context, False)
             _opt_int_field(spec, "chunk_bytes", context)
+        elif kind == "trace":
+            _str_tuple_field(spec, "traces", context, required=True)
+            _str_tuple_field(spec, "systems", context)
+            _int_tuple_field(spec, "sizes", context)
+            _opt_str_list_field(spec, "fabrics", context)
+            _opt_str_list_field(spec, "backends", context)
+            _str_tuple_field(spec, "algorithms", context)
+            _opt_str_list_field(spec, "parallelisms", context)
+            if "iterations" in spec:
+                _int_field(spec, "iterations", context)
+            _opt_int_field(spec, "chunk_bytes", context)
+            _opt_str_field(spec, "cost_table", context)
         elif kind == "network_drive":
             _str_tuple_field(spec, "systems", context)
             _int_field(spec, "payload_bytes", context)

@@ -1,0 +1,224 @@
+"""Trace capture: export a hand-coded workload to the trace format.
+
+:func:`workload_to_trace` walks a :class:`~repro.workloads.base.Workload`
+and emits the operator graph its training iteration executes — per-layer
+``forward`` / ``input_grad`` / ``weight_grad`` compute nodes with exact
+``tensor`` op descriptors (the architectural FLOP/byte counts of the layer's
+kernel costs), the per-layer collectives, and the DLRM-style embedding stage
+— wired with the dependency edges the training loop's program order implies.
+
+Because ``tensor`` descriptors serialise the kernel costs losslessly (JSON
+round-trips floats exactly) and the DAG scheduler reconstructs the same
+layer sequence, replaying a converted trace through
+:func:`~repro.traces.schedule.lower_trace` reproduces the hand-coded
+workload's simulated iteration times to the bit — the round-trip guarantee
+the acceptance tests pin at rel<=1e-9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.compute.kernels import KernelCost
+from repro.errors import TraceError
+from repro.traces.format import TRACE_SCHEMA_VERSION, Trace
+from repro.workloads.base import Workload
+
+
+def _op_descriptor(cost: KernelCost) -> Dict[str, object]:
+    """The exact ``tensor`` descriptor of one kernel cost."""
+    return {
+        "kind": "tensor",
+        "name": cost.name,
+        "flops": cost.flops,
+        "bytes_read": cost.bytes_read,
+        "bytes_written": cost.bytes_written,
+        "efficiency": cost.compute_efficiency,
+    }
+
+
+def _layer_tags(workload: Workload) -> List[str]:
+    """Unique, slug-free layer tags (layer names are reused verbatim)."""
+    tags: List[str] = []
+    seen: Dict[str, int] = {}
+    for layer in workload.layers:
+        count = seen.get(layer.name, 0)
+        seen[layer.name] = count + 1
+        tags.append(layer.name if count == 0 else f"{layer.name}#{count}")
+    return tags
+
+
+def workload_to_trace(workload: Workload, name: Optional[str] = None) -> Trace:
+    """Export ``workload`` as a validated :class:`Trace`.
+
+    ``name`` overrides the trace name (default: the workload's name); it
+    must be a lowercase slug, like every trace name.
+    """
+    trace_name = name or workload.name
+    tags = _layer_tags(workload)
+    nodes: List[Dict[str, object]] = []
+    edges: List[Tuple[str, str]] = []
+
+    def node_id(tag: str, suffix: str) -> str:
+        return f"{tag}.{suffix}"
+
+    # -- forward chain --------------------------------------------------
+    previous: Optional[str] = None
+    for tag, layer in zip(tags, workload.layers):
+        fwd = node_id(tag, "fwd")
+        nodes.append(
+            {
+                "id": fwd,
+                "kind": "compute",
+                "phase": "forward",
+                "layer": tag,
+                "op": _op_descriptor(layer.forward),
+            }
+        )
+        if previous is not None:
+            edges.append((previous, fwd))
+        previous = fwd
+        if layer.forward_allreduce_bytes > 0:
+            comm = node_id(tag, "fwd-act")
+            nodes.append(
+                {
+                    "id": comm,
+                    "kind": "comm",
+                    "role": "forward_activation",
+                    "layer": tag,
+                    "collective": layer.forward_comm_op.value,
+                    "bytes": layer.forward_allreduce_bytes,
+                }
+            )
+            edges.append((fwd, comm))
+            previous = comm
+
+    # -- backward chain (reverse layer order) ---------------------------
+    for index in reversed(range(len(workload.layers))):
+        tag, layer = tags[index], workload.layers[index]
+        dgrad = node_id(tag, "dgrad")
+        wgrad = node_id(tag, "wgrad")
+        nodes.append(
+            {
+                "id": dgrad,
+                "kind": "compute",
+                "phase": "input_grad",
+                "layer": tag,
+                "op": _op_descriptor(layer.input_grad),
+            }
+        )
+        nodes.append(
+            {
+                "id": wgrad,
+                "kind": "compute",
+                "phase": "weight_grad",
+                "layer": tag,
+                "op": _op_descriptor(layer.weight_grad),
+            }
+        )
+        edges.append((previous, dgrad))
+        edges.append((dgrad, wgrad))
+        previous = wgrad
+        if layer.backward_allreduce_bytes > 0:
+            comm = node_id(tag, "bwd-act")
+            nodes.append(
+                {
+                    "id": comm,
+                    "kind": "comm",
+                    "role": "backward_activation",
+                    "layer": tag,
+                    "collective": layer.backward_comm_op.value,
+                    "bytes": layer.backward_allreduce_bytes,
+                }
+            )
+            edges.append((wgrad, comm))
+            previous = comm
+        if layer.params_bytes > 0:
+            comm = node_id(tag, "wgrad-comm")
+            nodes.append(
+                {
+                    "id": comm,
+                    "kind": "comm",
+                    "role": "weight_grad",
+                    "layer": tag,
+                    "collective": layer.comm_op.value,
+                    "bytes": layer.params_bytes,
+                }
+            )
+            edges.append((wgrad, comm))
+
+    # -- embedding stage ------------------------------------------------
+    embedding = workload.embedding
+    if embedding is not None:
+        blocked_fwd = node_id(tags[embedding.alltoall_before_layer], "fwd")
+        nodes.append(
+            {
+                "id": "emb.lookup",
+                "kind": "compute",
+                "phase": "embedding_lookup",
+                "op": _op_descriptor(embedding.lookup),
+            }
+        )
+        nodes.append(
+            {
+                "id": "emb.fwd-a2a",
+                "kind": "comm",
+                "role": "embedding_forward",
+                "collective": "all_to_all",
+                "bytes": embedding.alltoall_forward_bytes,
+            }
+        )
+        nodes.append(
+            {
+                "id": "emb.bwd-a2a",
+                "kind": "comm",
+                "role": "embedding_backward",
+                "collective": "all_to_all",
+                "bytes": embedding.alltoall_backward_bytes,
+            }
+        )
+        nodes.append(
+            {
+                "id": "emb.update",
+                "kind": "compute",
+                "phase": "embedding_update",
+                "op": _op_descriptor(embedding.update),
+            }
+        )
+        edges.append(("emb.lookup", "emb.fwd-a2a"))
+        edges.append(("emb.fwd-a2a", blocked_fwd))
+        # The gradient all-to-all runs after back-propagation finishes.
+        edges.append((previous, "emb.bwd-a2a"))
+        edges.append(("emb.bwd-a2a", "emb.update"))
+
+    data: Dict[str, object] = {
+        "schema": TRACE_SCHEMA_VERSION,
+        "name": trace_name,
+        "description": workload.description or f"captured from workload {workload.name!r}",
+        "batch_size_per_npu": workload.batch_size_per_npu,
+        "parallelism": workload.parallelism,
+        "dtype_bytes": workload.dtype_bytes,
+        "compute_time_scale": workload.compute_time_scale,
+        "nodes": nodes,
+        "edges": [list(edge) for edge in edges],
+    }
+    if workload.pipeline_activation_bytes:
+        data["pipeline_activation_bytes"] = workload.pipeline_activation_bytes
+    return Trace.from_dict(data, source=f"workload {workload.name!r}")
+
+
+def convert_workload(name: str, trace_name: Optional[str] = None) -> Trace:
+    """Export the built-in workload called ``name`` to a trace.
+
+    The registry normalises names ("resnet50", "gnmt", "dlrm", "megatron");
+    unknown names raise :class:`~repro.errors.TraceError` listing what is
+    available.
+    """
+    from repro.errors import WorkloadError
+    from repro.workloads.registry import build_workload
+
+    try:
+        workload = build_workload(name)
+    except WorkloadError as exc:
+        raise TraceError(str(exc)) from exc
+    return workload_to_trace(workload, name=trace_name)

@@ -1,0 +1,605 @@
+"""Versioned operator-graph trace format: datatypes, validation, discovery.
+
+A *trace* is a data-only description of one training iteration as a DAG of
+operators — the trace-driven front end the ROADMAP names, modelled on
+byteprofile-analysis-style DAG replay.  Traces live as one ``<name>.json``
+file per trace, by default under ``traces/`` at the repository root
+(override with ``REPRO_TRACES_DIR``), and are lowered onto the existing
+training loop by :mod:`repro.traces.schedule`.
+
+A trace file looks like::
+
+    {
+      "schema": 1,
+      "name": "moe-transformer",
+      "description": "...",
+      "batch_size_per_npu": 4,
+      "parallelism": "data",
+      "nodes": [
+        {"id": "l0.fwd", "kind": "compute", "phase": "forward", "layer": "l0",
+         "op": {"kind": "tensor", "flops": 1.0e9, "bytes_read": 4.0e6,
+                "bytes_written": 2.0e6, "efficiency": 0.85}},
+        {"id": "l0.wgrad-ar", "kind": "comm", "role": "weight_grad",
+         "layer": "l0", "collective": "all_reduce", "bytes": 8388608}
+      ],
+      "edges": [["l0.fwd", "l0.wgrad-ar"]]
+    }
+
+Compute nodes carry an *op descriptor* (see :data:`OP_KINDS`): ``tensor``
+gives architectural FLOP/byte counts, ``gemm`` gives a matrix-multiply shape,
+and ``measured`` gives a wall-clock duration captured on a real device — the
+per-device cost tables of :mod:`repro.traces.cost` turn any of them into a
+:class:`~repro.compute.kernels.KernelCost`.  Comm nodes carry a collective
+type, a payload size, and a *role* describing where the collective attaches
+in the training loop (see :data:`COMM_ROLES`).
+
+Validation is strict in the :class:`~repro.errors.ScenarioError` style:
+unknown fields, unknown op kinds, dangling edges, duplicate ids, negative
+byte counts and dependency cycles all raise a
+:class:`~repro.errors.TraceError` naming the trace and the offending node.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.collectives.base import CollectiveOp
+from repro.errors import TraceError
+from repro.workloads.base import PARALLELISM_STRATEGIES
+
+#: Trace file schema version understood by this package.
+TRACE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default trace directory.
+TRACE_DIR_ENV = "REPRO_TRACES_DIR"
+
+#: Compute phases of one training iteration a compute node may belong to.
+COMPUTE_PHASES = (
+    "forward",
+    "input_grad",
+    "weight_grad",
+    "embedding_lookup",
+    "embedding_update",
+)
+
+#: Where a comm node's collective attaches in the training loop.
+COMM_ROLES = (
+    "weight_grad",
+    "forward_activation",
+    "backward_activation",
+    "embedding_forward",
+    "embedding_backward",
+)
+
+#: Comm roles that belong to a specific layer (vs. the embedding stage).
+LAYER_COMM_ROLES = ("weight_grad", "forward_activation", "backward_activation")
+
+#: Op descriptor kinds a compute node may carry.
+OP_KINDS = ("tensor", "gemm", "measured")
+
+_NAME_PATTERN = re.compile(r"^[a-z0-9][a-z0-9-]*$")
+
+_TRACE_FIELDS = (
+    "schema",
+    "name",
+    "description",
+    "batch_size_per_npu",
+    "parallelism",
+    "dtype_bytes",
+    "compute_time_scale",
+    "pipeline_activation_bytes",
+    "nodes",
+    "edges",
+)
+
+_COMPUTE_NODE_FIELDS = ("id", "kind", "phase", "layer", "op")
+_COMM_NODE_FIELDS = ("id", "kind", "role", "layer", "collective", "bytes")
+
+_OP_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "tensor": ("kind", "name", "flops", "bytes_read", "bytes_written", "efficiency"),
+    "gemm": ("kind", "name", "m", "n", "k", "batch", "dtype_bytes", "efficiency",
+             "traffic_factor"),
+    "measured": ("kind", "name", "duration_ns"),
+}
+
+
+def _type_name(value: object) -> str:
+    return type(value).__name__
+
+
+def _fail(context: str, message: str) -> "TraceError":
+    return TraceError(f"{context}: {message}")
+
+
+def _expect_mapping(value: object, context: str) -> Mapping[str, object]:
+    if not isinstance(value, Mapping):
+        raise _fail(context, f"expected an object, got {_type_name(value)}")
+    for key in value:
+        if not isinstance(key, str):
+            raise _fail(context, f"object keys must be strings, got {key!r}")
+    return value
+
+
+def _reject_unknown(data: Mapping[str, object], allowed: Sequence[str], context: str) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise _fail(
+            context, f"unknown field(s) {unknown}; allowed fields: {sorted(allowed)}"
+        )
+
+
+def _str_field(data: Mapping[str, object], name: str, context: str, default: object = None) -> str:
+    value = data.get(name, default)
+    if not isinstance(value, str):
+        raise _fail(context, f"field {name!r} must be a string, got {_type_name(value)}")
+    return value
+
+
+def _number_field(
+    data: Mapping[str, object], name: str, context: str, default: object = None
+) -> float:
+    value = data.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _fail(context, f"field {name!r} must be a number, got {_type_name(value)}")
+    return float(value)
+
+
+def _int_field(data: Mapping[str, object], name: str, context: str, default: object = None) -> int:
+    value = data.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _fail(context, f"field {name!r} must be an integer, got {_type_name(value)}")
+    return value
+
+
+def _nonnegative_number(
+    data: Mapping[str, object], name: str, context: str, default: object = None
+) -> float:
+    value = _number_field(data, name, context, default)
+    if value < 0:
+        raise _fail(context, f"field {name!r} must be non-negative, got {value}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Op descriptors
+# ---------------------------------------------------------------------------
+
+
+def validate_op(op: object, context: str) -> Dict[str, object]:
+    """Validate one compute-op descriptor; returns a normalised plain dict.
+
+    The descriptor is left as data (not resolved to a
+    :class:`~repro.compute.kernels.KernelCost`) so the same trace can be
+    costed against any device table at lowering time.
+    """
+    mapping = _expect_mapping(op, context)
+    kind = _str_field(mapping, "kind", context, default="")
+    if kind not in OP_KINDS:
+        raise _fail(context, f"unknown op kind {kind!r}; expected one of {list(OP_KINDS)}")
+    _reject_unknown(mapping, _OP_FIELDS[kind], context)
+    normalized: Dict[str, object] = {"kind": kind}
+    if "name" in mapping:
+        normalized["name"] = _str_field(mapping, "name", context)
+    if kind == "tensor":
+        normalized["flops"] = _nonnegative_number(mapping, "flops", context, default=0)
+        normalized["bytes_read"] = _nonnegative_number(mapping, "bytes_read", context, default=0)
+        normalized["bytes_written"] = _nonnegative_number(
+            mapping, "bytes_written", context, default=0
+        )
+        efficiency = _number_field(mapping, "efficiency", context, default=0.5)
+        if not 0 < efficiency <= 1:
+            raise _fail(context, f"field 'efficiency' must be in (0, 1], got {efficiency}")
+        normalized["efficiency"] = efficiency
+    elif kind == "gemm":
+        for name in ("m", "n", "k"):
+            value = _int_field(mapping, name, context)
+            if value <= 0:
+                raise _fail(context, f"GEMM dimension {name!r} must be positive, got {value}")
+            normalized[name] = value
+        batch = _int_field(mapping, "batch", context, default=1)
+        if batch <= 0:
+            raise _fail(context, f"field 'batch' must be positive, got {batch}")
+        normalized["batch"] = batch
+        dtype_bytes = _int_field(mapping, "dtype_bytes", context, default=2)
+        if dtype_bytes <= 0:
+            raise _fail(context, f"field 'dtype_bytes' must be positive, got {dtype_bytes}")
+        normalized["dtype_bytes"] = dtype_bytes
+        efficiency = _number_field(mapping, "efficiency", context, default=0.85)
+        if not 0 < efficiency <= 1:
+            raise _fail(context, f"field 'efficiency' must be in (0, 1], got {efficiency}")
+        normalized["efficiency"] = efficiency
+        traffic = _number_field(mapping, "traffic_factor", context, default=1.0)
+        if traffic <= 0:
+            raise _fail(context, f"field 'traffic_factor' must be positive, got {traffic}")
+        normalized["traffic_factor"] = traffic
+    else:  # measured
+        duration = _number_field(mapping, "duration_ns", context)
+        if duration <= 0:
+            raise _fail(context, f"field 'duration_ns' must be positive, got {duration}")
+        normalized["duration_ns"] = duration
+    return normalized
+
+
+# ---------------------------------------------------------------------------
+# Nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceNode:
+    """One validated operator-graph node (compute or comm)."""
+
+    id: str
+    kind: str
+    #: Layer tag grouping this node with its siblings; empty for the
+    #: embedding-stage phases/roles, which are workload-global.
+    layer: str = ""
+    # -- compute nodes ---------------------------------------------------
+    phase: str = ""
+    op: Mapping[str, object] = field(default_factory=dict)
+    # -- comm nodes ------------------------------------------------------
+    role: str = ""
+    collective: str = ""
+    bytes: int = 0
+
+    @property
+    def is_compute(self) -> bool:
+        """True for compute nodes (vs. collective-communication nodes)."""
+        return self.kind == "compute"
+
+    @classmethod
+    def from_dict(cls, data: object, context: str) -> "TraceNode":
+        """Validate one manifest node entry."""
+        mapping = _expect_mapping(data, context)
+        node_id = _str_field(mapping, "id", context, default="")
+        if not node_id:
+            raise _fail(context, "every node needs a non-empty string 'id'")
+        context = f"{context} node {node_id!r}"
+        kind = _str_field(mapping, "kind", context, default="")
+        if kind not in ("compute", "comm"):
+            raise _fail(
+                context, f"unknown node kind {kind!r}; expected 'compute' or 'comm'"
+            )
+        if kind == "compute":
+            _reject_unknown(mapping, _COMPUTE_NODE_FIELDS, context)
+            phase = _str_field(mapping, "phase", context, default="")
+            if phase not in COMPUTE_PHASES:
+                raise _fail(
+                    context,
+                    f"unknown compute phase {phase!r}; expected one of {list(COMPUTE_PHASES)}",
+                )
+            layer = _str_field(mapping, "layer", context, default="")
+            if phase.startswith("embedding"):
+                if layer:
+                    raise _fail(
+                        context,
+                        f"embedding phase {phase!r} is workload-global; drop the 'layer' field",
+                    )
+            elif not layer:
+                raise _fail(context, f"compute phase {phase!r} needs a 'layer' tag")
+            if "op" not in mapping:
+                raise _fail(context, "compute nodes need an 'op' descriptor")
+            op = validate_op(mapping["op"], f"{context} op")
+            return cls(id=node_id, kind=kind, layer=layer, phase=phase, op=op)
+        _reject_unknown(mapping, _COMM_NODE_FIELDS, context)
+        role = _str_field(mapping, "role", context, default="")
+        if role not in COMM_ROLES:
+            raise _fail(
+                context, f"unknown comm role {role!r}; expected one of {list(COMM_ROLES)}"
+            )
+        layer = _str_field(mapping, "layer", context, default="")
+        if role in LAYER_COMM_ROLES:
+            if not layer:
+                raise _fail(context, f"comm role {role!r} needs a 'layer' tag")
+        elif layer:
+            raise _fail(
+                context, f"embedding role {role!r} is workload-global; drop the 'layer' field"
+            )
+        collective = _str_field(mapping, "collective", context, default="")
+        try:
+            CollectiveOp(collective)
+        except ValueError:
+            raise _fail(
+                context,
+                f"unknown collective {collective!r}; expected one of "
+                f"{[op.value for op in CollectiveOp]}",
+            ) from None
+        payload = _int_field(mapping, "bytes", context)
+        if payload <= 0:
+            raise _fail(context, f"field 'bytes' must be positive, got {payload}")
+        return cls(
+            id=node_id,
+            kind=kind,
+            layer=layer,
+            role=role,
+            collective=collective,
+            bytes=payload,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """The trace-file form of this node."""
+        if self.is_compute:
+            data: Dict[str, object] = {"id": self.id, "kind": self.kind, "phase": self.phase}
+            if self.layer:
+                data["layer"] = self.layer
+            data["op"] = dict(self.op)
+            return data
+        data = {"id": self.id, "kind": self.kind, "role": self.role}
+        if self.layer:
+            data["layer"] = self.layer
+        data["collective"] = self.collective
+        data["bytes"] = self.bytes
+        return data
+
+
+# ---------------------------------------------------------------------------
+# Trace
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A fully validated operator-graph trace (guaranteed acyclic)."""
+
+    name: str
+    description: str
+    batch_size_per_npu: int
+    nodes: Tuple[TraceNode, ...]
+    edges: Tuple[Tuple[str, str], ...]
+    parallelism: str = "data"
+    dtype_bytes: int = 2
+    compute_time_scale: float = 1.0
+    pipeline_activation_bytes: int = 0
+
+    @classmethod
+    def from_dict(cls, data: object, source: str = "trace") -> "Trace":
+        """Validate a parsed trace; ``source`` names it in error messages."""
+        mapping = _expect_mapping(data, source)
+        _reject_unknown(mapping, _TRACE_FIELDS, source)
+        if "schema" not in mapping:
+            raise _fail(source, "required field 'schema' is missing")
+        schema = _int_field(mapping, "schema", source)
+        if schema != TRACE_SCHEMA_VERSION:
+            raise _fail(
+                source,
+                f"unsupported trace schema version {schema!r}; this build "
+                f"understands version {TRACE_SCHEMA_VERSION}",
+            )
+        name = _str_field(mapping, "name", source, default="")
+        if not _NAME_PATTERN.match(name):
+            raise _fail(
+                source,
+                f"trace name {name!r} must be a lowercase slug "
+                f"matching {_NAME_PATTERN.pattern!r}",
+            )
+        context = f"trace {name!r}"
+        description = _str_field(mapping, "description", context, default="")
+        if not description:
+            raise _fail(context, "a non-empty 'description' is required")
+        batch = _int_field(mapping, "batch_size_per_npu", context)
+        if batch <= 0:
+            raise _fail(context, f"'batch_size_per_npu' must be positive, got {batch}")
+        parallelism = _str_field(mapping, "parallelism", context, default="data")
+        if parallelism not in PARALLELISM_STRATEGIES:
+            raise _fail(
+                context,
+                f"unknown parallelism {parallelism!r}; expected one of "
+                f"{list(PARALLELISM_STRATEGIES)}",
+            )
+        dtype_bytes = _int_field(mapping, "dtype_bytes", context, default=2)
+        if dtype_bytes <= 0:
+            raise _fail(context, f"'dtype_bytes' must be positive, got {dtype_bytes}")
+        scale = _number_field(mapping, "compute_time_scale", context, default=1.0)
+        if scale <= 0:
+            raise _fail(context, f"'compute_time_scale' must be positive, got {scale}")
+        pipeline_bytes = _int_field(mapping, "pipeline_activation_bytes", context, default=0)
+        if pipeline_bytes < 0:
+            raise _fail(context, "'pipeline_activation_bytes' cannot be negative")
+
+        raw_nodes = mapping.get("nodes")
+        if not isinstance(raw_nodes, Sequence) or isinstance(raw_nodes, str) or not raw_nodes:
+            raise _fail(context, "'nodes' must be a non-empty list")
+        nodes = tuple(
+            TraceNode.from_dict(entry, f"{context} node #{index}")
+            for index, entry in enumerate(raw_nodes)
+        )
+        seen: Dict[str, int] = {}
+        for node in nodes:
+            if node.id in seen:
+                raise _fail(context, f"duplicate node id {node.id!r}")
+            seen[node.id] = 1
+
+        raw_edges = mapping.get("edges", [])
+        if not isinstance(raw_edges, Sequence) or isinstance(raw_edges, str):
+            raise _fail(context, "'edges' must be a list of [src, dst] pairs")
+        edges: List[Tuple[str, str]] = []
+        edge_set: Dict[Tuple[str, str], int] = {}
+        for index, entry in enumerate(raw_edges):
+            ok = (
+                isinstance(entry, Sequence)
+                and not isinstance(entry, str)
+                and len(entry) == 2
+                and all(isinstance(end, str) for end in entry)
+            )
+            if not ok:
+                raise _fail(
+                    context, f"edge #{index} must be a [src, dst] pair of node ids, got {entry!r}"
+                )
+            src, dst = entry
+            for end in (src, dst):
+                if end not in seen:
+                    raise _fail(
+                        context, f"edge #{index} references unknown node {end!r} (dangling edge)"
+                    )
+            if src == dst:
+                raise _fail(context, f"node {src!r} depends on itself (self-edge)")
+            if (src, dst) in edge_set:
+                raise _fail(context, f"duplicate edge {[src, dst]!r}")
+            edge_set[(src, dst)] = 1
+            edges.append((src, dst))
+
+        trace = cls(
+            name=name,
+            description=description,
+            batch_size_per_npu=batch,
+            nodes=nodes,
+            edges=tuple(edges),
+            parallelism=parallelism,
+            dtype_bytes=dtype_bytes,
+            compute_time_scale=scale,
+            pipeline_activation_bytes=pipeline_bytes,
+        )
+        topological_order(trace)  # raises TraceError on a dependency cycle
+        return trace
+
+    def to_dict(self) -> Dict[str, object]:
+        """The trace-file (plain-JSON) form of this trace — round-trips."""
+        data: Dict[str, object] = {
+            "schema": TRACE_SCHEMA_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "batch_size_per_npu": self.batch_size_per_npu,
+        }
+        if self.parallelism != "data":
+            data["parallelism"] = self.parallelism
+        if self.dtype_bytes != 2:
+            data["dtype_bytes"] = self.dtype_bytes
+        if self.compute_time_scale != 1.0:
+            data["compute_time_scale"] = self.compute_time_scale
+        if self.pipeline_activation_bytes:
+            data["pipeline_activation_bytes"] = self.pipeline_activation_bytes
+        data["nodes"] = [node.to_dict() for node in self.nodes]
+        data["edges"] = [list(edge) for edge in self.edges]
+        return data
+
+    def node(self, node_id: str) -> TraceNode:
+        """Look a node up by id (the ids are unique by construction)."""
+        for node in self.nodes:
+            if node.id == node_id:
+                return node
+        raise _fail(f"trace {self.name!r}", f"no node with id {node_id!r}")
+
+    def summary(self) -> Dict[str, object]:
+        """Human-oriented size summary (``repro trace list``)."""
+        compute = sum(1 for node in self.nodes if node.is_compute)
+        return {
+            "name": self.name,
+            "nodes": len(self.nodes),
+            "compute_nodes": compute,
+            "comm_nodes": len(self.nodes) - compute,
+            "edges": len(self.edges),
+            "parallelism": self.parallelism,
+            "description": self.description,
+        }
+
+
+def topological_order(trace: Trace) -> List[TraceNode]:
+    """Deterministic topological order of ``trace``'s nodes (Kahn's algorithm).
+
+    Ready nodes are processed in sorted-id order, so the result depends only
+    on the edge set — never on the order nodes appear in the file.  Raises
+    :class:`~repro.errors.TraceError` naming a node on every dependency
+    cycle, which is how :meth:`Trace.from_dict` guarantees acyclicity.
+    """
+    indegree: Dict[str, int] = {node.id: 0 for node in trace.nodes}
+    successors: Dict[str, List[str]] = {node.id: [] for node in trace.nodes}
+    for src, dst in trace.edges:
+        indegree[dst] += 1
+        successors[src].append(dst)
+    ready = sorted(node_id for node_id, degree in indegree.items() if degree == 0)
+    order: List[str] = []
+    while ready:
+        node_id = ready.pop(0)
+        order.append(node_id)
+        released = []
+        for succ in successors[node_id]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                released.append(succ)
+        if released:
+            ready = sorted(ready + released)
+    if len(order) < len(trace.nodes):
+        stuck = sorted(node_id for node_id, degree in indegree.items() if degree > 0)
+        raise _fail(
+            f"trace {trace.name!r}",
+            f"dependency cycle through node {stuck[0]!r} "
+            f"({len(stuck)} node(s) unreachable)",
+        )
+    by_id = {node.id: node for node in trace.nodes}
+    return [by_id[node_id] for node_id in order]
+
+
+# ---------------------------------------------------------------------------
+# Discovery
+# ---------------------------------------------------------------------------
+
+
+def default_trace_dir() -> Path:
+    """The trace directory: ``$REPRO_TRACES_DIR``, ``./traces``, or the
+    ``traces/`` directory next to this source checkout."""
+    env = os.environ.get(TRACE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    cwd = Path.cwd() / "traces"
+    if cwd.is_dir():
+        return cwd
+    checkout = Path(__file__).resolve().parents[3] / "traces"
+    return checkout if checkout.is_dir() else cwd
+
+
+def load_trace_file(path: Union[str, Path]) -> Trace:
+    """Parse and validate one trace file.
+
+    The trace's ``name`` must match the file stem, so that
+    ``traces/<name>.json`` is always the trace named ``<name>``.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise TraceError(f"cannot read trace file {path}: {exc}") from None
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"{path}: not valid JSON ({exc})") from None
+    trace = Trace.from_dict(data, source=str(path))
+    if trace.name != path.stem:
+        raise TraceError(
+            f"{path}: trace name {trace.name!r} must match the file "
+            f"stem {path.stem!r} (rename the file or the trace)"
+        )
+    return trace
+
+
+def discover_traces(directory: Union[str, Path, None] = None) -> List[Trace]:
+    """Load every ``*.json`` trace in ``directory``, sorted by name."""
+    directory = Path(directory) if directory is not None else default_trace_dir()
+    if not directory.is_dir():
+        raise TraceError(
+            f"trace directory {directory} does not exist "
+            f"(set {TRACE_DIR_ENV} or pass --dir)"
+        )
+    return [load_trace_file(path) for path in sorted(directory.glob("*.json"))]
+
+
+def find_trace(name: str, directory: Union[str, Path, None] = None) -> Trace:
+    """Load the trace called ``name``, with a helpful error if absent."""
+    directory = Path(directory) if directory is not None else default_trace_dir()
+    path = directory / f"{name}.json"
+    if not path.is_file():
+        available = sorted(p.stem for p in directory.glob("*.json")) if directory.is_dir() else []
+        raise TraceError(f"no trace named {name!r} in {directory}; available: {available}")
+    return load_trace_file(path)
+
+
+def trace_names(directory: Union[str, Path, None] = None) -> List[str]:
+    """Names of every trace file in ``directory`` (no validation)."""
+    directory = Path(directory) if directory is not None else default_trace_dir()
+    if not directory.is_dir():
+        return []
+    return sorted(path.stem for path in directory.glob("*.json"))

@@ -190,7 +190,7 @@ class TrainingLoop:
                 yield from self._run_compute(layer.forward)
                 if layer.forward_allreduce_bytes > 0:
                     blocking = self.executor.issue(
-                        CollectiveOp.ALL_REDUCE,
+                        layer.forward_comm_op,
                         layer.forward_allreduce_bytes,
                         name=f"iter{iteration}.{layer.name}.fwd-ar",
                     )
@@ -206,7 +206,7 @@ class TrainingLoop:
                 yield from self._run_compute(layer.weight_grad)
                 if layer.backward_allreduce_bytes > 0:
                     blocking = self.executor.issue(
-                        CollectiveOp.ALL_REDUCE,
+                        layer.backward_comm_op,
                         layer.backward_allreduce_bytes,
                         name=f"iter{iteration}.{layer.name}.bwd-ar",
                     )

@@ -41,9 +41,14 @@ class Layer:
         weight-gradient computation finishes and must complete before the
         layer's forward pass of the next iteration.
     forward_allreduce_bytes / backward_allreduce_bytes:
-        Blocking activation all-reduces required by tensor/model parallelism
+        Blocking activation exchanges required by tensor/model parallelism
         (Megatron-LM style); issued and waited for right after the layer's
         forward / backward compute.
+    comm_op / forward_comm_op / backward_comm_op:
+        Collective types of the weight-gradient exchange and the blocking
+        forward/backward activation exchanges.  All default to all-reduce
+        (the paper's workloads); trace-driven workloads override them, e.g.
+        an MoE block's all-to-all token exchange.
     """
 
     name: str
@@ -54,6 +59,8 @@ class Layer:
     forward_allreduce_bytes: int = 0
     backward_allreduce_bytes: int = 0
     comm_op: CollectiveOp = CollectiveOp.ALL_REDUCE
+    forward_comm_op: CollectiveOp = CollectiveOp.ALL_REDUCE
+    backward_comm_op: CollectiveOp = CollectiveOp.ALL_REDUCE
 
     def __post_init__(self) -> None:
         if self.params_bytes < 0:
