@@ -61,6 +61,12 @@ from repro.collectives import (
     plan_collective,
     supported_algorithms,
 )
+from repro.compute.backend import (
+    ComputeBackend,
+    compute_backend_names,
+    make_compute_backend,
+    resolve_compute_backend_name,
+)
 from repro.network.backend import (
     NetworkBackend,
     backend_names,
@@ -94,7 +100,7 @@ from repro.workloads import (
     build_workload,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AceConfig",
@@ -116,6 +122,10 @@ __all__ = [
     "algorithms",
     "plan_collective",
     "supported_algorithms",
+    "ComputeBackend",
+    "compute_backend_names",
+    "make_compute_backend",
+    "resolve_compute_backend_name",
     "NetworkBackend",
     "backend_names",
     "make_network_backend",

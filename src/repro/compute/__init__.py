@@ -1,12 +1,26 @@
 """NPU compute model.
 
-A roofline cost model plays the role of the paper's SCALE-sim-based compute
+Kernel-timing models play the role of the paper's SCALE-sim-based compute
 simulator: each kernel is characterised by its FLOP count and its memory
-traffic, and the time on a given NPU configuration is the larger of the
-compute-bound and memory-bound times, scaled by the resources (SMs and HBM
-bandwidth) the system configuration leaves to the training computation.
+traffic, and pluggable :class:`~repro.compute.backend.ComputeBackend`
+implementations price it on the resources (SMs and HBM bandwidth) the system
+configuration leaves to the training computation — the roofline model (the
+default: larger of the compute-bound and memory-bound times) or the
+execution-unit model (max over Scalar/Matrix/Vector/DMA units plus exposed
+DMA fill/drain), selected by name via ``SystemConfig.compute_backend``.
 """
 
+from repro.compute.backend import (
+    AUTO_COMPUTE_BACKEND,
+    DEFAULT_COMPUTE_AUTO_NPU_THRESHOLD,
+    DEFAULT_COMPUTE_BACKEND,
+    ComputeBackend,
+    compute_backend_names,
+    make_compute_backend,
+    register_compute_backend,
+    resolve_compute_backend_name,
+    validate_compute_backend_name,
+)
 from repro.compute.kernels import (
     KernelCost,
     conv2d_cost,
@@ -16,15 +30,26 @@ from repro.compute.kernels import (
     lstm_cell_cost,
 )
 from repro.compute.roofline import RooflineModel
+from repro.compute.execution_unit import ExecutionUnitModel
 from repro.compute.npu import NpuComputeEngine
 
 __all__ = [
+    "AUTO_COMPUTE_BACKEND",
+    "DEFAULT_COMPUTE_AUTO_NPU_THRESHOLD",
+    "DEFAULT_COMPUTE_BACKEND",
+    "ComputeBackend",
+    "ExecutionUnitModel",
     "KernelCost",
+    "compute_backend_names",
     "conv2d_cost",
     "elementwise_cost",
     "embedding_lookup_cost",
     "gemm_cost",
     "lstm_cell_cost",
+    "make_compute_backend",
+    "register_compute_backend",
+    "resolve_compute_backend_name",
+    "validate_compute_backend_name",
     "RooflineModel",
     "NpuComputeEngine",
 ]

@@ -44,6 +44,7 @@ class KernelCost:
 
     @property
     def bytes_total(self) -> float:
+        """Total memory traffic (reads plus writes) in bytes."""
         return self.bytes_read + self.bytes_written
 
     @property

@@ -53,6 +53,7 @@ class RooflineModel:
         )
 
     def is_memory_bound(self, cost: KernelCost) -> bool:
+        """True when the memory bound dominates (ties count as memory bound)."""
         return self.memory_time_ns(cost) >= self.compute_time_ns(cost)
 
     def ridge_intensity(self) -> float:

@@ -188,6 +188,7 @@ def make_system(
     name: str,
     algorithm: Optional[str] = None,
     backend: Optional[str] = None,
+    compute: Optional[str] = None,
     **overrides,
 ) -> SystemConfig:
     """Build one of the Table VI configurations by name.
@@ -198,8 +199,13 @@ def make_system(
     collective algorithm the planner uses for this system (default: keep the
     preset's ``"auto"``, i.e. the cheapest feasible plan per topology —
     the paper's hierarchical/direct choices on the torus).  ``backend``
-    selects the network model (``"symmetric" | "detailed" | "auto"``;
-    default: keep the preset's ``"symmetric"``, the paper's sweep vehicle).
+    selects the network model (``"symmetric" | "detailed" | "hybrid" |
+    "auto"``; default: keep the preset's ``"symmetric"``, the paper's sweep
+    vehicle).  ``compute`` selects the kernel-timing model
+    (``"roofline" | "execution-unit" | "auto"``; default: keep the preset's
+    ``"roofline"``, the model every golden value pins).  To replace the
+    :class:`ComputeConfig` *section* (unit parameters, SM counts), call a
+    preset factory directly with ``compute=ComputeConfig(...)``.
     """
     key = name.strip()
     normalized = {
@@ -221,4 +227,6 @@ def make_system(
         system = system.with_overrides(collective_algorithm=algorithm)
     if backend is not None:
         system = system.with_overrides(network_backend=backend)
+    if compute is not None:
+        system = system.with_overrides(compute_backend=compute)
     return system

@@ -50,7 +50,17 @@ class EndpointKind(str, enum.Enum):
 
 @dataclass(frozen=True)
 class ComputeConfig:
-    """GPU-like NPU compute engine parameters."""
+    """GPU-like NPU compute engine parameters.
+
+    The first block parameterises the NPU at the roofline level (SM count,
+    peak rate, frequency).  The second block describes the execution-unit
+    structure underneath — the Scalar/Matrix/Vector/DMA split, SRAM and
+    register-file capacities, and occupancy/overlap derates — consumed only
+    by the ``"execution-unit"`` compute backend
+    (:class:`~repro.compute.execution_unit.ExecutionUnitModel`); the default
+    ``"roofline"`` backend ignores it, so these fields never perturb golden
+    values.
+    """
 
     num_sms: int = 80
     peak_tflops_fp16: float = 120.0
@@ -58,6 +68,28 @@ class ComputeConfig:
     #: Per-SM read/write width used to derive the memory bandwidth one SM can
     #: drive for communication (64 bytes/cycle at 1245 MHz ~= 80 GB/s, Sec. III).
     sm_bytes_per_cycle: float = 64.0
+    #: Fraction of peak FLOPs delivered by the matrix (systolic/tensor) units.
+    matrix_unit_fraction: float = 0.98
+    #: Fraction of peak FLOPs the SIMD vector lanes can sustain.
+    vector_unit_fraction: float = 0.125
+    #: Fraction of peak FLOPs the scalar/control pipeline can sustain.
+    scalar_unit_fraction: float = 0.002
+    #: Fraction of a kernel's FLOPs replayed on the scalar unit as address
+    #: generation and control flow.
+    scalar_flops_fraction: float = 1e-5
+    #: Streaming-FLOP density: at most this many of a kernel's FLOPs per DMA
+    #: byte run on the vector unit (epilogues, reductions); the rest are
+    #: matrix work.
+    vector_flops_per_byte: float = 2.0
+    #: Achieved wave occupancy of the matrix/vector units.
+    unit_occupancy: float = 0.985
+    #: Fraction of a kernel's DMA stream hidden under unit execution
+    #: (double-buffering efficiency); the remainder is exposed serially.
+    dma_overlap: float = 0.97
+    #: Per-core-complex SRAM scratchpad staging DMA tiles (fill/drain bound).
+    unit_sram_bytes: int = 192 * KB
+    #: Register-file capacity; kernels whose traffic fits bypass SRAM staging.
+    register_file_bytes: int = 64 * KB
 
     def __post_init__(self) -> None:
         if self.num_sms <= 0:
@@ -66,6 +98,36 @@ class ComputeConfig:
             raise ConfigurationError("peak_tflops_fp16 must be positive")
         if self.frequency_mhz <= 0:
             raise ConfigurationError("frequency_mhz must be positive")
+        for fraction_field in (
+            "matrix_unit_fraction",
+            "vector_unit_fraction",
+            "scalar_unit_fraction",
+            "unit_occupancy",
+        ):
+            value = getattr(self, fraction_field)
+            if not 0 < value <= 1:
+                raise ConfigurationError(
+                    f"{fraction_field} must be in (0, 1], got {value}"
+                )
+        for unit_interval_field in ("scalar_flops_fraction", "dma_overlap"):
+            value = getattr(self, unit_interval_field)
+            if not 0 <= value <= 1:
+                raise ConfigurationError(
+                    f"{unit_interval_field} must be in [0, 1], got {value}"
+                )
+        if self.vector_flops_per_byte <= 0:
+            raise ConfigurationError(
+                f"vector_flops_per_byte must be positive, got "
+                f"{self.vector_flops_per_byte}"
+            )
+        if self.unit_sram_bytes <= 0:
+            raise ConfigurationError(
+                f"unit_sram_bytes must be positive, got {self.unit_sram_bytes}"
+            )
+        if self.register_file_bytes <= 0:
+            raise ConfigurationError(
+                f"register_file_bytes must be positive, got {self.register_file_bytes}"
+            )
 
     @property
     def sm_memory_bandwidth_gbps(self) -> float:
@@ -329,6 +391,14 @@ class SystemConfig:
     #: Raised from 32 to 64 when the detailed hot path gained coalescing and
     #: batched reservations.
     network_backend_auto_threshold: int = 64
+    #: Compute model pricing training kernels: "roofline" (max of compute and
+    #: memory bounds, the default and the model every golden value pins),
+    #: "execution-unit" (Scalar/Matrix/Vector/DMA units with SRAM staging and
+    #: occupancy/overlap derates — parameters on :class:`ComputeConfig`), or
+    #: "auto" (execution-unit at or below the compute auto threshold, roofline
+    #: above — validate small, sweep large, mirroring ``network_backend``).
+    #: Validated against the compute-backend registry when the engine is built.
+    compute_backend: str = "roofline"
     #: Fixed overhead from issuing a collective until its first chunk can be
     #: processed.  For the baselines this is the communication-kernel launch
     #: and scheduling cost on a busy GPU (Section III measures multi-us
@@ -363,6 +433,11 @@ class SystemConfig:
             raise ConfigurationError(
                 f"network_backend_auto_threshold must be positive, got "
                 f"{self.network_backend_auto_threshold}"
+            )
+        if not self.compute_backend or not isinstance(self.compute_backend, str):
+            raise ConfigurationError(
+                f"compute_backend must be a non-empty backend name or 'auto', "
+                f"got {self.compute_backend!r}"
             )
         if self.policy.comm_sms > self.compute.num_sms:
             raise ConfigurationError(
@@ -458,6 +533,7 @@ class SystemConfig:
             "scheduling": self.collective_scheduling,
             "algorithm": self.collective_algorithm,
             "network_backend": self.network_backend,
+            "compute_backend": self.compute_backend,
         }
 
 

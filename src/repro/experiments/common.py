@@ -63,6 +63,7 @@ def grid_jobs(
     backend: Optional[str] = None,
     chunk_bytes: Optional[int] = None,
     parallelism: Optional[str] = None,
+    compute: Optional[str] = None,
 ) -> List[SimJob]:
     """Job specs for every (system, workload, size) grid cell, in grid order.
 
@@ -79,7 +80,9 @@ def grid_jobs(
     paper trio to keep the event count tractable.  ``parallelism`` overrides
     every cell's parallelisation strategy (``"data" | "model" | "hybrid" |
     "zero" | "pipeline" | "pipeline:<stages>x<microbatches>"``; default: each
-    workload's native strategy).
+    workload's native strategy).  ``compute`` selects the kernel-timing
+    model for every cell (``"roofline" | "execution-unit" | "auto"``;
+    default: the preset's roofline model).
     """
     if fabric is not None and len(set(sizes)) > 1:
         raise ConfigurationError(
@@ -104,6 +107,7 @@ def grid_jobs(
                         chunk_bytes=chunk,
                         overlap_embedding=overlap_embedding,
                         parallelism=parallelism,
+                        compute=compute,
                     )
                 )
     return jobs
@@ -121,6 +125,7 @@ def run_grid(
     backend: Optional[str] = None,
     chunk_bytes: Optional[int] = None,
     parallelism: Optional[str] = None,
+    compute: Optional[str] = None,
     runner: Optional[SweepRunner] = None,
 ) -> List[TrainingResult]:
     """Simulate every (system, workload, size) combination and return results."""
@@ -138,6 +143,7 @@ def run_grid(
             backend=backend,
             chunk_bytes=chunk_bytes,
             parallelism=parallelism,
+            compute=compute,
         )
     )
 

@@ -1,0 +1,191 @@
+"""Roofline-vs-execution-unit compute-backend validation sweep.
+
+PR 3's ``backend_validation`` playbook applied to *compute* fidelity: every
+(workload x platform-size) training cell is simulated twice — once per
+:class:`~repro.compute.backend.ComputeBackend` — through one
+:class:`~repro.runner.SweepRunner` batch, and the two kernel-timing models
+are required to track each other on every paper-scale cell:
+
+* **iteration time** agrees within :data:`TOLERANCE` (10 %) relative error,
+* **exposed communication** disagrees by at most :data:`TOLERANCE` of the
+  iteration time (a residual measure, gated as a fraction of the big
+  quantity for the same reason ``backend_validation`` gates it that way),
+* the execution-unit model is never *faster* than the roofline
+  (``eu_slowdown_frac >= 0``): its occupancy derate and exposed DMA
+  fill/drain are pure additions on top of the roofline bounds, so a
+  negative slowdown would mean a modelling bug, not a disagreement.
+
+Where the models disagree, the disagreement itself is the product: it
+quantifies how much the pure roofline abstraction underestimates kernels
+that pay occupancy, fill/drain, and vector/matrix split costs — the compute
+analogue of the paper's validate-small/sweep-large network methodology.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import FAST_CHUNK_BYTES
+from repro.runner import SimJob, SweepRunner, default_runner, training_job
+
+#: Maximum relative disagreement between the two compute backends on
+#: paper-scale cells (asserted by ``tests/test_compute_backends`` and the
+#: ``scenarios/compute-validation.json`` invariants).
+TOLERANCE = 0.10
+
+#: Default training cells: (workload, num_npus) pairs.  The compute knob only
+#: exists on training jobs — network-drive and area/power jobs have no
+#: compute engine — so unlike ``backend_validation`` there are no drive cells.
+DEFAULT_TRAINING_CELLS: Tuple[Tuple[str, int], ...] = (
+    ("resnet50", 8),
+    ("resnet50", 16),
+    ("resnet50", 32),
+    ("dlrm", 8),
+    ("dlrm", 16),
+    ("gnmt", 8),
+    ("gnmt", 16),
+)
+
+#: Default validated pair: (fast model under test, reference model).  The
+#: execution-unit model is the reference: it expresses unit occupancy and
+#: DMA fill/drain that the roofline folds into a single max.
+BACKENDS = ("roofline", "execution-unit")
+
+
+def _check_compute_pair(backends: Sequence[str]) -> Tuple[str, str]:
+    """Validate a ``backends`` pair: exactly two distinct registered names."""
+    from repro.compute.backend import validate_compute_backend_name
+
+    pair = tuple(backends)
+    if len(pair) != 2 or pair[0] == pair[1]:
+        raise ConfigurationError(
+            f"compute validation needs exactly two distinct compute backends, "
+            f"got {pair!r}"
+        )
+    for name in pair:
+        validate_compute_backend_name(str(name))
+    return (str(pair[0]), str(pair[1]))
+
+
+def compute_validation_jobs(
+    system: str = "ace",
+    training_cells: Sequence[Tuple[str, int]] = DEFAULT_TRAINING_CELLS,
+    iterations: int = 2,
+    backends: Sequence[str] = BACKENDS,
+) -> List[SimJob]:
+    """Paired job specs: each cell once per compute backend, first first."""
+    backends = _check_compute_pair(backends)
+    jobs: List[SimJob] = []
+    for workload, num_npus in training_cells:
+        for compute in backends:
+            jobs.append(
+                training_job(
+                    system,
+                    workload,
+                    num_npus=num_npus,
+                    compute=compute,
+                    iterations=iterations,
+                    chunk_bytes=FAST_CHUNK_BYTES.get(workload),
+                )
+            )
+    return jobs
+
+
+def _row(job: SimJob, roofline, execution_unit) -> Dict[str, object]:
+    """Comparison row; ``roofline_``/``eu_`` prefixes mean (first, second) of
+    the validated backend pair — the fast model under test, then the
+    reference."""
+    tr, te = roofline.total_time_ns, execution_unit.total_time_ns
+    er, ee = roofline.exposed_comm_ns, execution_unit.exposed_comm_ns
+    cr, ce = roofline.total_compute_ns, execution_unit.total_compute_ns
+    return {
+        "cell": f"{job.workload}@{job.num_npus}",
+        "system": job.system,
+        "roofline_time_us": tr / 1e3,
+        "eu_time_us": te / 1e3,
+        "roofline_compute_us": cr / 1e3,
+        "eu_compute_us": ce / 1e3,
+        "roofline_exposed_us": er / 1e3,
+        "eu_exposed_us": ee / 1e3,
+        "time_rel_err": abs(tr - te) / max(te, 1e-9),
+        "exposed_delta_frac": abs(er - ee) / max(tr, te, 1e-9),
+        "eu_slowdown_frac": (te - tr) / max(tr, 1e-9),
+        "compute_rel_err": abs(cr - ce) / max(ce, 1e-9),
+    }
+
+
+def run_compute_validation(
+    system: str = "ace",
+    training_cells: Sequence[Tuple[str, int]] = DEFAULT_TRAINING_CELLS,
+    iterations: int = 2,
+    runner: Optional[SweepRunner] = None,
+    backends: Sequence[str] = BACKENDS,
+) -> List[Dict[str, object]]:
+    """Run every cell on both compute backends; one comparison row per cell.
+
+    Each row carries the per-backend headline metrics plus the agreement
+    measures the validation asserts on: ``time_rel_err`` (end-to-end
+    iteration time, relative), ``exposed_delta_frac`` (exposed-communication
+    disagreement as a fraction of iteration time) and ``eu_slowdown_frac``
+    (signed: how much slower the second backend of the pair runs the cell —
+    non-negative by construction for the default roofline/execution-unit
+    pair).  ``backends`` selects the validated pair; row keys keep their
+    ``roofline_``/``eu_`` prefixes, meaning (first, second) of the pair.
+    """
+    runner = runner or default_runner()
+    jobs = compute_validation_jobs(
+        system=system,
+        training_cells=training_cells,
+        iterations=iterations,
+        backends=backends,
+    )
+    results = runner.run_values(jobs)
+    rows: List[Dict[str, object]] = []
+    for index in range(0, len(jobs), 2):
+        rows.append(_row(jobs[index], results[index], results[index + 1]))
+    return rows
+
+
+def max_disagreement(rows: Sequence[Dict[str, object]]) -> float:
+    """The largest agreement metric across all rows (what the bound gates)."""
+    return max(
+        max(float(row["time_rel_err"]), float(row["exposed_delta_frac"]))
+        for row in rows
+    )
+
+
+def min_slowdown(rows: Sequence[Dict[str, object]]) -> float:
+    """The most negative execution-unit slowdown (must stay >= 0)."""
+    return min(float(row["eu_slowdown_frac"]) for row in rows)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    """Print the validation table and the worst-case disagreement."""
+    rows = run_compute_validation()
+    header = (
+        "cell", "roofline_time_us", "eu_time_us",
+        "roofline_exposed_us", "eu_exposed_us",
+        "time_rel_err", "exposed_delta_frac", "eu_slowdown_frac",
+    )
+
+    def fmt(row, key):
+        value = row[key]
+        return f"{value:.4f}" if isinstance(value, float) else str(value)
+
+    widths = {h: max(len(h), *(len(fmt(r, h)) for r in rows)) for h in header}
+    print("  ".join(h.ljust(widths[h]) for h in header))
+    for row in rows:
+        print("  ".join(fmt(row, h).ljust(widths[h]) for h in header))
+    worst = max_disagreement(rows)
+    print()
+    print(
+        f"worst-case disagreement: {worst:.4f} "
+        f"({'within' if worst <= TOLERANCE else 'OUTSIDE'} the "
+        f"{TOLERANCE:.0%} validation tolerance); "
+        f"min execution-unit slowdown: {min_slowdown(rows):+.4f}"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

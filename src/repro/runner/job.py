@@ -28,6 +28,10 @@ from typing import Dict, Mapping, Optional, Tuple
 from repro.analysis.bandwidth import measure_network_drive
 from repro.collectives.base import CollectiveOp
 from repro.collectives.planner import AUTO, algorithms
+from repro.compute.backend import (
+    resolve_compute_backend_name,
+    validate_compute_backend_name,
+)
 from repro.config.presets import make_system
 from repro.config.system import AceConfig, SystemConfig
 from repro.core.area_power import AceAreaPowerModel
@@ -49,6 +53,7 @@ _CONFIG_SCALARS = (
     "collective_algorithm",
     "network_backend",
     "network_backend_auto_threshold",
+    "compute_backend",
     "parallelism",
 )
 
@@ -157,6 +162,12 @@ class SimJob:
     #: strategy and — for spec-hash compatibility with pre-1.4.0 job specs —
     #: is omitted from the canonical JSON entirely.
     parallelism: Optional[str] = None
+    #: Compute backend pricing training kernels ("roofline" |
+    #: "execution-unit" | "auto").  Shorthand for the ``compute_backend``
+    #: config override; ``None`` keeps the system preset's default
+    #: (roofline) and — for spec-hash compatibility with pre-1.6.0 job
+    #: specs — is omitted from the canonical JSON entirely.
+    compute: Optional[str] = None
     # -- network-drive jobs ----------------------------------------------
     payload_bytes: Optional[int] = None
     op: str = CollectiveOp.ALL_REDUCE.value
@@ -197,6 +208,19 @@ class SimJob:
                 raise ConfigurationError(
                     f"conflicting network backends: backend={self.backend!r} "
                     f"vs overrides['network_backend']={override_backend!r}; "
+                    f"set only one"
+                )
+        if self.compute is not None:
+            if self.kind != "training":
+                raise ConfigurationError(
+                    f"compute only applies to training jobs, not {self.kind!r}"
+                )
+            validate_compute_backend_name(self.compute)
+            override_compute = self.overrides.get("compute_backend")
+            if override_compute is not None and override_compute != self.compute:
+                raise ConfigurationError(
+                    f"conflicting compute backends: compute={self.compute!r} "
+                    f"vs overrides['compute_backend']={override_compute!r}; "
                     f"set only one"
                 )
         if self.parallelism is not None:
@@ -270,11 +294,12 @@ class SimJob:
         """Plain-JSON dictionary of the spec (stable schema).
 
         Every pre-1.2.0 field is always present.  ``backend`` (added in
-        1.2.0), ``parallelism`` (added in 1.4.0) and ``trace`` /
-        ``cost_table`` (added in 1.5.0) are emitted only when set: a job
-        that does not use the knobs canonicalises to exactly the 1.1.0
-        JSON, so its spec hash — and therefore its cache key under any
-        fixed ``version`` salt — is unchanged by the upgrades.
+        1.2.0), ``parallelism`` (added in 1.4.0), ``trace`` /
+        ``cost_table`` (added in 1.5.0) and ``compute`` (added in 1.6.0)
+        are emitted only when set: a job that does not use the knobs
+        canonicalises to exactly the 1.1.0 JSON, so its spec hash — and
+        therefore its cache key under any fixed ``version`` salt — is
+        unchanged by the upgrades.
         """
         data: Dict[str, object] = {
             "kind": self.kind,
@@ -300,6 +325,8 @@ class SimJob:
             data["trace"] = self.trace
         if self.cost_table is not None:
             data["cost_table"] = self.cost_table
+        if self.compute is not None:
+            data["compute"] = self.compute
         return data
 
     def to_json(self) -> str:
@@ -374,6 +401,10 @@ class SimJob:
         # override wins when the shorthand is left unset.
         if self.backend is not None:
             changes["network_backend"] = self.backend
+        # The job-level compute shorthand; an explicit compute_backend
+        # override wins when the shorthand is left unset.
+        if self.compute is not None:
+            changes["compute_backend"] = self.compute
         # The job-level parallelism shorthand; an explicit parallelism
         # override wins when the shorthand is left unset.
         if self.parallelism is not None:
@@ -402,18 +433,28 @@ class SimJob:
         network-drive jobs, and the Table IV row list for area/power jobs.
         """
         if self.kind == "training":
+            system = self.build_system()
+            topology = self.build_topology()
             if self.trace is not None:
                 # Resolved here (in the worker), not at submission: building
-                # many specs must stay filesystem-free.
+                # many specs must stay filesystem-free.  Measured ops invert
+                # the same backend the engine will price kernels with, so
+                # replay stays exact whichever backend is active.
                 from repro.traces import find_trace, lower_trace
 
-                workload = lower_trace(find_trace(self.trace), self.cost_table)
+                workload = lower_trace(
+                    find_trace(self.trace),
+                    self.cost_table,
+                    compute_backend=resolve_compute_backend_name(
+                        system.compute_backend, num_npus=topology.num_nodes
+                    ),
+                )
             else:
                 workload = build_workload(self.workload)
             return simulate_training(
-                self.build_system(),
+                system,
                 workload,
-                num_npus=self.build_topology(),
+                num_npus=topology,
                 iterations=self.iterations,
                 chunk_bytes=self.chunk_bytes,
                 overlap_embedding=self.overlap_embedding,
@@ -467,6 +508,7 @@ def training_job(
     chunk_bytes: Optional[int] = None,
     overlap_embedding: bool = False,
     parallelism: Optional[str] = None,
+    compute: Optional[str] = None,
     overrides: Optional[Mapping[str, object]] = None,
 ) -> SimJob:
     """A training-loop simulation job (Figs. 9b-12)."""
@@ -483,6 +525,7 @@ def training_job(
         chunk_bytes=chunk_bytes,
         overlap_embedding=overlap_embedding,
         parallelism=parallelism,
+        compute=compute,
         overrides=overrides or {},
     )
 
@@ -499,6 +542,7 @@ def trace_job(
     chunk_bytes: Optional[int] = None,
     cost_table: Optional[str] = None,
     parallelism: Optional[str] = None,
+    compute: Optional[str] = None,
     overrides: Optional[Mapping[str, object]] = None,
 ) -> SimJob:
     """A training job driven by an operator-graph trace file.
@@ -507,7 +551,8 @@ def trace_job(
     picks the device table pricing its op descriptors (default:
     :data:`repro.traces.cost.DEFAULT_COST_TABLE`).  Everything else — the
     system preset, fabric, collective algorithm, network backend,
-    parallelism — behaves exactly as in :func:`training_job`.
+    parallelism, compute backend — behaves exactly as in
+    :func:`training_job`.
     """
     return SimJob(
         kind="training",
@@ -522,6 +567,7 @@ def trace_job(
         iterations=iterations,
         chunk_bytes=chunk_bytes,
         parallelism=parallelism,
+        compute=compute,
         overrides=overrides or {},
     )
 

@@ -264,14 +264,15 @@ def _compile_training_grid(spec: Mapping[str, object]) -> List[SimJob]:
         backend=spec.get("backend"),
         chunk_bytes=spec.get("chunk_bytes"),
         parallelism=spec.get("parallelism"),
+        compute=spec.get("compute"),
     )
 
 
 def _compile_sweep(spec: Mapping[str, object]) -> List[SimJob]:
     """Server-side grid templating: one ``grid_jobs`` batch per outer-axis cell.
 
-    The outer axes (fabric x backend x algorithm x parallelism) wrap the
-    inner (workload x size x system) grid, and every combination routes
+    The outer axes (fabric x backend x algorithm x parallelism x compute)
+    wrap the inner (workload x size x system) grid, and every combination routes
     through :func:`repro.experiments.common.grid_jobs` — so the expansion is
     byte-identical to hand-enumerating one ``training_grid`` suite per
     combination, and identical specs hit identical cache keys.
@@ -287,6 +288,7 @@ def _compile_sweep(spec: Mapping[str, object]) -> List[SimJob]:
     backends = tuple(spec.get("backends", (None,))) or (None,)
     algorithms = tuple(spec.get("algorithms", ("auto",))) or ("auto",)
     parallelisms = tuple(spec.get("parallelisms", (None,))) or (None,)
+    computes = tuple(spec.get("computes", (None,))) or (None,)
     for parallelism in parallelisms:
         _check_pipeline_compat(workloads, parallelism)
     jobs: List[SimJob] = []
@@ -294,21 +296,23 @@ def _compile_sweep(spec: Mapping[str, object]) -> List[SimJob]:
         for backend in backends:
             for algorithm in algorithms:
                 for parallelism in parallelisms:
-                    jobs.extend(
-                        grid_jobs(
-                            systems=systems,
-                            workloads=workloads,
-                            sizes=sizes,
-                            iterations=int(spec.get("iterations", 2)),
-                            fast=bool(spec.get("fast", True)),
-                            overlap_embedding=bool(spec.get("overlap_embedding", False)),
-                            fabric=fabric,
-                            algorithm=str(algorithm),
-                            backend=backend,
-                            chunk_bytes=spec.get("chunk_bytes"),
-                            parallelism=parallelism,
+                    for compute in computes:
+                        jobs.extend(
+                            grid_jobs(
+                                systems=systems,
+                                workloads=workloads,
+                                sizes=sizes,
+                                iterations=int(spec.get("iterations", 2)),
+                                fast=bool(spec.get("fast", True)),
+                                overlap_embedding=bool(spec.get("overlap_embedding", False)),
+                                fabric=fabric,
+                                algorithm=str(algorithm),
+                                backend=backend,
+                                chunk_bytes=spec.get("chunk_bytes"),
+                                parallelism=parallelism,
+                                compute=compute,
+                            )
                         )
-                    )
     return jobs
 
 
@@ -337,6 +341,7 @@ def _compile_trace(spec: Mapping[str, object]) -> List[SimJob]:
     backends = tuple(spec.get("backends", (None,))) or (None,)
     algorithms = tuple(spec.get("algorithms", ("auto",))) or ("auto",)
     parallelisms = tuple(spec.get("parallelisms", (None,))) or (None,)
+    computes = tuple(spec.get("computes", (None,))) or (None,)
     if any(fabric is not None for fabric in fabrics) and len(set(sizes)) > 1:
         from repro.errors import ConfigurationError
 
@@ -350,22 +355,24 @@ def _compile_trace(spec: Mapping[str, object]) -> List[SimJob]:
             for backend in backends:
                 for algorithm in algorithms:
                     for parallelism in parallelisms:
-                        for num_npus in sizes:
-                            for system in systems:
-                                jobs.append(
-                                    trace_job(
-                                        system,
-                                        trace,
-                                        num_npus=None if fabric else num_npus,
-                                        fabric=fabric,
-                                        algorithm=str(algorithm),
-                                        backend=backend,
-                                        iterations=int(spec.get("iterations", 2)),
-                                        chunk_bytes=spec.get("chunk_bytes"),
-                                        cost_table=cost_table,
-                                        parallelism=parallelism,
+                        for compute in computes:
+                            for num_npus in sizes:
+                                for system in systems:
+                                    jobs.append(
+                                        trace_job(
+                                            system,
+                                            trace,
+                                            num_npus=None if fabric else num_npus,
+                                            fabric=fabric,
+                                            algorithm=str(algorithm),
+                                            backend=backend,
+                                            iterations=int(spec.get("iterations", 2)),
+                                            chunk_bytes=spec.get("chunk_bytes"),
+                                            cost_table=cost_table,
+                                            parallelism=parallelism,
+                                            compute=compute,
+                                        )
                                     )
-                                )
     return jobs
 
 
@@ -440,6 +447,36 @@ def _resolve_backend_validation(suite: Suite) -> "CompiledFigure":
     return CompiledFigure(figure=runner, options=options)
 
 
+def _resolve_compute_validation(suite: Suite) -> "CompiledFigure":
+    """A delegating suite over the compute-backend-pair validation harness.
+
+    Mirrors ``backend_validation`` for the *compute* axis: every training
+    cell runs once per compute backend (default roofline vs execution-unit)
+    and each comparison row carries ``time_rel_err``, ``exposed_delta_frac``
+    and the signed ``eu_slowdown_frac``, so a manifest can assert both the
+    10 % agreement bound and the execution-unit-never-faster invariant with
+    plain ``bound`` invariants.
+    """
+    from repro.experiments.compute_validation import run_compute_validation
+
+    system = str(suite.spec.get("system", "ace"))
+    _check_systems((system,))
+    options: Dict[str, object] = {"system": system}
+    if "training_cells" in suite.spec:
+        options["training_cells"] = [tuple(cell) for cell in suite.spec["training_cells"]]
+    if "iterations" in suite.spec:
+        options["iterations"] = int(suite.spec["iterations"])
+    if "backends" in suite.spec:
+        options["backends"] = tuple(str(name) for name in suite.spec["backends"])
+    pair = options.get("backends", ("roofline", "execution-unit"))
+    runner = FigureRunner(
+        "compute_validation",
+        run_compute_validation,
+        f"{pair[0]} vs {pair[1]} compute-backend agreement",
+    )
+    return CompiledFigure(figure=runner, options=options)
+
+
 def _compile_area_power(spec: Mapping[str, object]) -> List[SimJob]:
     from dataclasses import fields as dataclass_fields
 
@@ -477,6 +514,8 @@ def compile_suite(scenario: Scenario, index: int) -> CompiledSuite:
             return CompiledSuite(suite=suite, figure=resolve_figure(suite, context))
         if suite.kind == "backend_validation":
             return CompiledSuite(suite=suite, figure=_resolve_backend_validation(suite))
+        if suite.kind == "compute_validation":
+            return CompiledSuite(suite=suite, figure=_resolve_compute_validation(suite))
         jobs = _COMPILERS[suite.kind](suite.spec)
     except ScenarioError:
         raise

@@ -54,6 +54,7 @@ SUITE_KINDS = (
     "network_drive",
     "cross_topology",
     "backend_validation",
+    "compute_validation",
     "area_power",
     "figure",
 )
@@ -218,6 +219,7 @@ _SUITE_FIELDS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
             "backend",
             "chunk_bytes",
             "parallelism",
+            "compute",
         ),
         (),
     ),
@@ -237,6 +239,7 @@ _SUITE_FIELDS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
             "backends",
             "algorithms",
             "parallelisms",
+            "computes",
             "iterations",
             "fast",
             "overlap_embedding",
@@ -256,6 +259,7 @@ _SUITE_FIELDS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
             "backends",
             "algorithms",
             "parallelisms",
+            "computes",
             "iterations",
             "chunk_bytes",
             "cost_table",
@@ -278,6 +282,13 @@ _SUITE_FIELDS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
     "cross_topology": (("op", "sizes", "systems", "payload_bytes", "chunk_bytes"), ()),
     "backend_validation": (
         ("system", "training_cells", "drive_cells", "iterations", "backends"),
+        (),
+    ),
+    # Roofline-vs-execution-unit compute-model validation (PR 3's playbook
+    # applied to compute fidelity); training cells only — the compute knob
+    # does not exist on network-drive jobs.
+    "compute_validation": (
+        ("system", "training_cells", "iterations", "backends"),
         (),
     ),
     "area_power": (("ace",), ()),
@@ -333,6 +344,7 @@ class Suite:
             _opt_str_field(spec, "backend", context)
             _opt_int_field(spec, "chunk_bytes", context)
             _opt_str_field(spec, "parallelism", context)
+            _opt_str_field(spec, "compute", context)
         elif kind == "sweep":
             _str_tuple_field(spec, "systems", context)
             _str_tuple_field(spec, "workloads", context)
@@ -341,6 +353,7 @@ class Suite:
             _opt_str_list_field(spec, "backends", context)
             _str_tuple_field(spec, "algorithms", context)
             _opt_str_list_field(spec, "parallelisms", context)
+            _opt_str_list_field(spec, "computes", context)
             if "iterations" in spec:
                 _int_field(spec, "iterations", context)
             _bool_field(spec, "fast", context, True)
@@ -354,6 +367,7 @@ class Suite:
             _opt_str_list_field(spec, "backends", context)
             _str_tuple_field(spec, "algorithms", context)
             _opt_str_list_field(spec, "parallelisms", context)
+            _opt_str_list_field(spec, "computes", context)
             if "iterations" in spec:
                 _int_field(spec, "iterations", context)
             _opt_int_field(spec, "chunk_bytes", context)
@@ -419,6 +433,46 @@ class Suite:
                     raise ScenarioError(
                         f"{context}: field 'backends' must be a pair of "
                         f"backend names, got {pair!r}"
+                    )
+        elif kind == "compute_validation":
+            if "system" in spec:
+                _str_field(spec, "system", context)
+            cells = spec.get("training_cells", [])
+            if not isinstance(cells, Sequence) or isinstance(cells, str):
+                raise ScenarioError(
+                    f"{context}: field 'training_cells' must be a list of pairs"
+                )
+            for cell in cells:
+                ok = (
+                    isinstance(cell, Sequence)
+                    and not isinstance(cell, str)
+                    and len(cell) == 2
+                    and isinstance(cell[0], str)
+                    and isinstance(cell[1], int)
+                    and not isinstance(cell[1], bool)
+                )
+                if not ok:
+                    raise ScenarioError(
+                        f"{context}: field 'training_cells' entries must be "
+                        f"[str, int] pairs, got {cell!r}"
+                    )
+            if "iterations" in spec:
+                _int_field(spec, "iterations", context)
+            if "backends" in spec:
+                # The validated pair, e.g. ["roofline", "execution-unit"]
+                # (the default); name resolution against the compute-backend
+                # registry happens at compile time.
+                pair = spec["backends"]
+                ok = (
+                    isinstance(pair, Sequence)
+                    and not isinstance(pair, str)
+                    and len(pair) == 2
+                    and all(isinstance(name, str) for name in pair)
+                )
+                if not ok:
+                    raise ScenarioError(
+                        f"{context}: field 'backends' must be a pair of "
+                        f"compute backend names, got {pair!r}"
                     )
         elif kind == "area_power":
             _overrides_field(spec, "ace", context)

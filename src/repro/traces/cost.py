@@ -10,13 +10,17 @@ into :class:`~repro.compute.kernels.KernelCost` objects:
   (:class:`~repro.compute.roofline.RooflineModel`) prices them exactly like
   the hand-coded workloads.
 * ``measured`` descriptors carry a wall-clock duration captured on the
-  table's device.  The table *inverts its own roofline* — synthesising the
-  FLOP count that reproduces the measured duration at peak efficiency — so
-  replaying the trace on a system whose compute allocation matches the table
-  reproduces the measurement exactly, and replaying it on a slower/faster
-  system scales the duration by the compute-throughput ratio.  (Durations at
-  or below the launch overhead floor at the overhead: the training loop
-  skips zero-cost kernels entirely.)
+  table's device.  The table *inverts the active compute backend's own
+  model* — synthesising the FLOP count that reproduces the measured duration
+  at peak efficiency — so replaying the trace on a system whose compute
+  allocation matches the table reproduces the measurement exactly, and
+  replaying it on a slower/faster system scales the duration by the
+  compute-throughput ratio.  Which model is inverted follows the executing
+  system's ``compute_backend`` (the ``compute_backend=`` argument of
+  :meth:`DeviceCostTable.resolve`; ``None`` keeps the legacy roofline
+  inversion byte-identically).  (Durations at or below the launch overhead
+  floor at the overhead: the training loop skips zero-cost kernels
+  entirely.)
 
 The registry ships the paper's NPU plus the NVIDIA data-center parts that
 public per-GPU cost tables (byteprofile-analysis ``gpu_models_info`` style)
@@ -32,7 +36,6 @@ from typing import Dict, List, Mapping, Optional
 from repro.compute.kernels import KernelCost, gemm_cost
 from repro.compute.roofline import RooflineModel
 from repro.errors import TraceError
-from repro.units import SECOND, TERA
 
 #: Cost table used when a trace job does not pin one.
 DEFAULT_COST_TABLE = "paper-npu"
@@ -68,10 +71,35 @@ class DeviceCostTable:
             kernel_launch_overhead_ns=self.kernel_launch_overhead_ns,
         )
 
-    def resolve(self, op: Mapping[str, object], context: str) -> KernelCost:
+    def backend(self, compute_backend: Optional[str] = None):
+        """This device's compute backend (used to invert measured durations).
+
+        ``compute_backend`` is a registered backend name or ``"auto"``
+        (``None`` = the roofline default).  No platform size is in scope at
+        cost-table time, so ``"auto"`` resolves to the roofline model.
+        """
+        from repro.compute.backend import DEFAULT_COMPUTE_BACKEND, make_compute_backend
+
+        return make_compute_backend(
+            compute_backend or DEFAULT_COMPUTE_BACKEND,
+            tflops=self.tflops,
+            memory_bandwidth_gbps=self.memory_bandwidth_gbps,
+            kernel_launch_overhead_ns=self.kernel_launch_overhead_ns,
+        )
+
+    def resolve(
+        self,
+        op: Mapping[str, object],
+        context: str,
+        compute_backend: Optional[str] = None,
+    ) -> KernelCost:
         """Turn one validated op descriptor into a :class:`KernelCost`.
 
         ``context`` names the trace and node in any error message.
+        ``compute_backend`` selects whose model ``measured`` durations invert
+        (``None`` = the legacy roofline inversion, byte-identical to
+        pre-1.6.0 behaviour); architectural descriptors resolve identically
+        on every backend.
         """
         kind = op.get("kind")
         name = str(op.get("name", context))
@@ -95,11 +123,13 @@ class DeviceCostTable:
                 name=name,
             )
         if kind == "measured":
-            # Invert this device's roofline: the FLOP count that takes
-            # (duration - launch overhead) at peak efficiency.  bytes stay
-            # zero so the synthesised kernel is compute-bound everywhere.
-            compute_ns = max(0.0, float(op["duration_ns"]) - self.kernel_launch_overhead_ns)
-            flops = compute_ns * self.tflops * TERA / SECOND
+            # Invert the active backend's own model: the FLOP count that
+            # takes (duration - launch overhead) under that model at peak
+            # efficiency.  bytes stay zero so the synthesised kernel is
+            # compute-bound everywhere.
+            flops = self.backend(compute_backend).invert_duration_ns(
+                float(op["duration_ns"])
+            )
             return KernelCost(
                 name=name,
                 flops=flops,

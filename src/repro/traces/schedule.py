@@ -53,18 +53,36 @@ def _zero_cost(name: str) -> KernelCost:
                       compute_efficiency=1.0)
 
 
+class _BoundCostTable:
+    """A device cost table with the executing backend's inversion bound in."""
+
+    def __init__(
+        self, table: DeviceCostTable, compute_backend: Optional[str]
+    ) -> None:
+        self.table = table
+        self.compute_backend = compute_backend
+
+    def resolve(self, op, context: str) -> KernelCost:
+        """Resolve one op descriptor under the bound compute backend."""
+        return self.table.resolve(op, context, compute_backend=self.compute_backend)
+
+
 def lower_trace(
     trace: Trace,
     cost_table: Optional[str] = None,
+    compute_backend: Optional[str] = None,
 ) -> Workload:
     """Lower ``trace`` into a :class:`Workload` using the named cost table.
 
     ``cost_table`` names a :class:`~repro.traces.cost.DeviceCostTable`
     (default :data:`~repro.traces.cost.DEFAULT_COST_TABLE`); it prices
     ``measured`` op descriptors, while architectural (``tensor`` / ``gemm``)
-    descriptors resolve identically on every table.
+    descriptors resolve identically on every table.  ``compute_backend``
+    selects whose model ``measured`` durations invert so replay stays exact
+    under the executing system's backend (``None`` = the legacy roofline
+    inversion).
     """
-    table = find_cost_table(cost_table)
+    table = _BoundCostTable(find_cost_table(cost_table), compute_backend)
     context = f"trace {trace.name!r}"
     order = topological_order(trace)
 
@@ -155,7 +173,7 @@ def _build_layer(
     tag: str,
     compute: Dict[str, TraceNode],
     comm: Dict[str, TraceNode],
-    table: DeviceCostTable,
+    table: _BoundCostTable,
     context: str,
 ) -> Layer:
     """One trace layer: its three compute phases plus attached collectives."""
@@ -202,7 +220,7 @@ def _build_embedding(
     compute: Dict[str, TraceNode],
     comm: Dict[str, TraceNode],
     layer_order: List[str],
-    table: DeviceCostTable,
+    table: _BoundCostTable,
     context: str,
 ) -> Optional[EmbeddingStage]:
     """Assemble the embedding stage, or ``None`` when the trace has none."""

@@ -82,7 +82,13 @@ class TrainingLoop:
             )
 
         self.sim = Simulator()
-        self.compute = NpuComputeEngine(system, time_scale=workload.compute_time_scale)
+        # The platform size steers ``compute_backend="auto"`` (execution-unit
+        # at small scale, roofline for the big sweeps).
+        self.compute = NpuComputeEngine(
+            system,
+            time_scale=workload.compute_time_scale,
+            num_npus=self.topology.num_nodes,
+        )
         # ``backend`` overrides ``system.network_backend`` for this loop only
         # (the same shorthand SimJob.backend provides at the sweep layer).
         self.executor = CollectiveExecutor(
